@@ -1,0 +1,244 @@
+//! `texid` — command-line front end for the texture identification system.
+//!
+//! ```text
+//! texid gen      --count 12 --size 256 --out textures/     generate sample textures (PGM)
+//! texid extract  --image textures/tex_0007.pgm --out q.feat [--surf] [--max 768]
+//! texid search   --refs textures/ --query q.pgm [--top 5]  offline search over a directory
+//! texid serve    --port 8080 [--containers 4]              run the REST API
+//! texid capacity                                           print the capacity planner table
+//! ```
+//!
+//! Feature files use the crate's protobuf-style wire format; images are
+//! 8-bit binary PGM.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use texid_core::{Engine, EngineConfig};
+use texid_distrib::cluster::{Cluster, ClusterConfig};
+use texid_distrib::{api, wire};
+use texid_image::io::{read_pgm, write_pgm};
+use texid_image::TextureGenerator;
+use texid_sift::{extract, extract_surf, FeatureMatrix, SiftConfig, SurfConfig};
+
+/// Tiny flag parser: `--key value` pairs plus positional subcommand.
+struct Args {
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(args: &[String]) -> Args {
+        let mut flags = HashMap::new();
+        let mut i = 0;
+        while i < args.len() {
+            if let Some(key) = args[i].strip_prefix("--") {
+                if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                    flags.insert(key.to_string(), args[i + 1].clone());
+                    i += 2;
+                } else {
+                    flags.insert(key.to_string(), "true".to_string());
+                    i += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        Args { flags }
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    fn get_usize(&self, key: &str, default: usize) -> usize {
+        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required flag --{key}"))
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first().map(String::as_str) else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let args = Args::parse(&argv[1..]);
+    let result = match cmd {
+        "gen" => cmd_gen(&args),
+        "extract" => cmd_extract(&args),
+        "search" => cmd_search(&args),
+        "serve" => cmd_serve(&args),
+        "capacity" => cmd_capacity(),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("texid: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  texid gen      --count N [--size 256] [--seed S] --out DIR
+  texid extract  --image FILE.pgm --out FILE.feat [--surf] [--max 768]
+  texid search   --refs DIR --query FILE.pgm [--top 5] [--max-ref 384] [--max-query 768]
+  texid serve    [--port 0] [--containers 4]
+  texid capacity";
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    let count = args.get_usize("count", 12);
+    let size = args.get_usize("size", 256);
+    let seed = args.get_usize("seed", 0x7ea) as u64;
+    let out = PathBuf::from(args.require("out")?);
+    std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
+    let generator = TextureGenerator { dataset_seed: seed, ..TextureGenerator::with_size(size) };
+    for id in 0..count as u64 {
+        let path = out.join(format!("tex_{id:04}.pgm"));
+        write_pgm(&generator.generate(id), &path).map_err(|e| e.to_string())?;
+    }
+    println!("wrote {count} textures ({size}x{size}) to {}", out.display());
+    Ok(())
+}
+
+fn load_features(image_path: &Path, surf: bool, max_features: usize) -> Result<FeatureMatrix, String> {
+    let im = read_pgm(image_path).map_err(|e| format!("{}: {e}", image_path.display()))?;
+    Ok(if surf {
+        extract_surf(&im, &SurfConfig { max_features, ..SurfConfig::default() })
+    } else {
+        extract(&im, &SiftConfig { max_features, ..SiftConfig::default() })
+    })
+}
+
+fn cmd_extract(args: &Args) -> Result<(), String> {
+    let image = PathBuf::from(args.require("image")?);
+    let out = PathBuf::from(args.require("out")?);
+    let max = args.get_usize("max", 768);
+    let features = load_features(&image, args.has("surf"), max)?;
+    std::fs::write(&out, wire::encode_features(&features)).map_err(|e| e.to_string())?;
+    println!(
+        "{}: {} features (d={}), {} bytes -> {}",
+        image.display(),
+        features.len(),
+        features.dim(),
+        std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0),
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_search(args: &Args) -> Result<(), String> {
+    let refs_dir = PathBuf::from(args.require("refs")?);
+    let query_path = PathBuf::from(args.require("query")?);
+    let top = args.get_usize("top", 5);
+    let max_ref = args.get_usize("max-ref", 384);
+    let max_query = args.get_usize("max-query", 768);
+
+    let mut engine = Engine::new(EngineConfig {
+        m_ref: max_ref,
+        n_query: max_query,
+        batch_size: 32,
+        ..EngineConfig::default()
+    });
+
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&refs_dir)
+        .map_err(|e| format!("{}: {e}", refs_dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "pgm"))
+        .collect();
+    entries.sort();
+    if entries.is_empty() {
+        return Err(format!("no .pgm files in {}", refs_dir.display()));
+    }
+    println!("indexing {} references from {} ...", entries.len(), refs_dir.display());
+    let mut names: Vec<String> = Vec::new();
+    for (id, path) in entries.iter().enumerate() {
+        let features = load_features(path, false, max_ref)?;
+        engine.add_reference(id as u64, &features).map_err(|e| e.to_string())?;
+        names.push(path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default());
+    }
+    engine.flush().map_err(|e| e.to_string())?;
+
+    let query = load_features(&query_path, false, max_query)?;
+    let result = engine.search(&query);
+    println!("\nresults for {} ({} features):", query_path.display(), query.len());
+    for (id, score) in result.ranked.iter().take(top) {
+        println!("  {:<24} score {score}", names[*id as usize]);
+    }
+    match result.best(10) {
+        Some((id, score)) => println!("\nIDENTIFIED: {} ({score} matches)", names[id as usize]),
+        None => println!("\nno confident match (threshold 10)"),
+    }
+    println!(
+        "simulated {} comparisons/s on a {}",
+        result.report.images_per_second().round(),
+        engine.config().device.name
+    );
+    Ok(())
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let port = args.get_usize("port", 0);
+    let containers = args.get_usize("containers", 4);
+    let cluster = Arc::new(Cluster::new(ClusterConfig {
+        containers,
+        engine: EngineConfig::default(),
+    }));
+    let server =
+        api::serve(cluster, &format!("127.0.0.1:{port}")).map_err(|e| e.to_string())?;
+    println!(
+        "texture search API on http://{} ({} containers)\nroutes: POST /textures, GET/PUT/DELETE /textures/{{id}}, POST /search, POST /verify, GET /stats\nCtrl-C to stop",
+        server.addr(),
+        containers
+    );
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn cmd_capacity() -> Result<(), String> {
+    use texid_core::capacity::{bytes_per_reference, device_capacity, hybrid_capacity};
+    use texid_gpu::{DeviceSpec, Precision};
+    let spec = DeviceSpec::tesla_p100();
+    println!("{:<46} {:>12} {:>10}", "configuration (single P100 + 64 GB host)", "capacity", "KB/ref");
+    let rows: [(&str, u64, u64); 4] = [
+        (
+            "FP32, m=768, GPU only (baseline)",
+            device_capacity(&spec, 0, bytes_per_reference(768, 128, Precision::F32, true)),
+            bytes_per_reference(768, 128, Precision::F32, true),
+        ),
+        (
+            "FP16, m=768, GPU only",
+            device_capacity(&spec, 0, bytes_per_reference(768, 128, Precision::F16, false)),
+            bytes_per_reference(768, 128, Precision::F16, false),
+        ),
+        (
+            "FP16, m=768, hybrid cache",
+            hybrid_capacity(&spec, 0, 64 << 30, bytes_per_reference(768, 128, Precision::F16, false)),
+            bytes_per_reference(768, 128, Precision::F16, false),
+        ),
+        (
+            "FP16, m=384, hybrid cache (paper optimum)",
+            hybrid_capacity(&spec, 0, 64 << 30, bytes_per_reference(384, 128, Precision::F16, false)),
+            bytes_per_reference(384, 128, Precision::F16, false),
+        ),
+    ];
+    for (label, cap, per_ref) in rows {
+        println!("{label:<46} {cap:>12} {:>10.1}", per_ref as f64 / 1024.0);
+    }
+    Ok(())
+}

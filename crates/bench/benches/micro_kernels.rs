@@ -1,0 +1,86 @@
+//! Criterion micro-benchmarks of the *functional* substrates (real CPU wall
+//! time, not simulated device time): GEMM, top-2 scan, FP16 conversion,
+//! SIFT extraction and the wire codec.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use texid_distrib::wire;
+use texid_image::TextureGenerator;
+use texid_linalg::gemm::{gemm_at_b, gemm_at_b_f16};
+use texid_linalg::top2::{sort_columns, top2_min_per_column};
+use texid_linalg::{F16, Mat};
+use texid_sift::{extract, SiftConfig};
+
+fn feature_mat(d: usize, cols: usize, seed: u64) -> Mat {
+    let mut state = seed | 1;
+    Mat::from_fn(d, cols, |_, _| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 40) & 0xffff) as f32 / 65535.0 * 0.1
+    })
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm_at_b");
+    for &cols in &[128usize, 384, 768] {
+        let a = feature_mat(128, cols, 1);
+        let b = feature_mat(128, 768, 2);
+        let flops = 2 * cols as u64 * 768 * 128;
+        g.throughput(Throughput::Elements(flops));
+        g.bench_with_input(BenchmarkId::new("f32", cols), &cols, |bench, _| {
+            bench.iter(|| gemm_at_b(-2.0, &a, &b))
+        });
+        let a16 = a.to_f16_scaled(0.0078125);
+        let b16 = b.to_f16_scaled(0.0078125);
+        g.bench_with_input(BenchmarkId::new("f16", cols), &cols, |bench, _| {
+            bench.iter(|| gemm_at_b_f16(-2.0, &a16, &b16))
+        });
+    }
+    g.finish();
+}
+
+fn bench_top2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("top2");
+    let a = feature_mat(768, 768, 3);
+    g.throughput(Throughput::Elements((768 * 768) as u64));
+    g.bench_function("scan_768x768", |bench| bench.iter(|| top2_min_per_column(&a)));
+    g.bench_function("full_sort_768x768", |bench| bench.iter(|| sort_columns(&a)));
+    g.finish();
+}
+
+fn bench_f16(c: &mut Criterion) {
+    let values: Vec<f32> = (0..65536).map(|i| i as f32 * 0.37 - 12_000.0).collect();
+    let mut g = c.benchmark_group("f16");
+    g.throughput(Throughput::Elements(values.len() as u64));
+    g.bench_function("narrow_64k", |bench| {
+        bench.iter(|| values.iter().map(|&v| F16::from_f32(v)).collect::<Vec<_>>())
+    });
+    let halves: Vec<F16> = values.iter().map(|&v| F16::from_f32(v)).collect();
+    g.bench_function("widen_64k", |bench| {
+        bench.iter(|| halves.iter().map(|h| h.to_f32()).collect::<Vec<f32>>())
+    });
+    g.finish();
+}
+
+fn bench_sift(c: &mut Criterion) {
+    let im = TextureGenerator::with_size(256).generate(5);
+    let cfg = SiftConfig { max_features: 768, ..SiftConfig::default() };
+    let mut g = c.benchmark_group("sift");
+    g.sample_size(10);
+    g.bench_function("extract_256px_768f", |bench| bench.iter(|| extract(&im, &cfg)));
+    g.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let im = TextureGenerator::with_size(256).generate(6);
+    let features = extract(&im, &SiftConfig { max_features: 384, ..SiftConfig::default() });
+    let encoded = wire::encode_features(&features);
+    let mut g = c.benchmark_group("wire");
+    g.throughput(Throughput::Bytes(encoded.len() as u64));
+    g.bench_function("encode_384f", |bench| bench.iter(|| wire::encode_features(&features)));
+    g.bench_function("decode_384f", |bench| {
+        bench.iter(|| wire::decode_features(&encoded).expect("valid"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_top2, bench_f16, bench_sift, bench_wire);
+criterion_main!(benches);

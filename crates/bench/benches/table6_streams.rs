@@ -1,0 +1,86 @@
+//! **Table 6** — multi-stream schedule efficiency (Eq. 4) and extra GPU
+//! memory, m = n = 768, FP16, all references host-resident (pinned),
+//! batch {512, 256} × streams {1, 2, 4, 8}.
+
+use texid_bench::{heading, row, thousands};
+use texid_cache::CacheConfig;
+use texid_core::{Engine, EngineConfig};
+use texid_gpu::{streams, DeviceSpec, Precision};
+use texid_knn::{ExecMode, MatchConfig};
+use texid_linalg::Mat;
+use texid_sift::FeatureMatrix;
+
+fn speed(batch: usize, n_streams: usize) -> f64 {
+    let mut e = Engine::new(EngineConfig {
+        device: DeviceSpec::tesla_p100(),
+        matching: MatchConfig {
+            precision: Precision::F16,
+            exec: ExecMode::TimingOnly,
+            ..MatchConfig::default()
+        },
+        m_ref: 768,
+        n_query: 768,
+        batch_size: batch,
+        streams: n_streams,
+        cache: CacheConfig {
+            host_capacity_bytes: 256 << 30,
+            device_reserve_bytes: 15 << 30, // force all batches host-side
+            pinned: true,
+        },
+    });
+    for id in 0..(64 * batch) as u64 {
+        e.add_reference_shape(id).expect("capacity");
+    }
+    e.flush().expect("flush");
+    let q = FeatureMatrix::from_mat(Mat::zeros(128, 768), true);
+    e.search(&q).report.images_per_second()
+}
+
+fn main() {
+    let spec = DeviceSpec::tesla_p100();
+    let theoretical = streams::pcie_bound_speed(&spec, (768 * 128 * 2) as u64, true);
+
+    heading("Table 6: multi-stream scheduling, refs on pinned host memory, P100 (ours [paper])");
+    println!(
+        "PCIe-bound theoretical speed: {} img/s (paper: 47,592 at 9.6 GB/s)\n",
+        thousands(theoretical)
+    );
+    row(&[
+        "batch".to_string(),
+        "streams".to_string(),
+        "extra GPU mem GB".to_string(),
+        "speed img/s".to_string(),
+        "efficiency".to_string(),
+    ]);
+
+    let paper: &[(usize, usize, f64, f64, f64)] = &[
+        (512, 1, 0.989, 24_984.0, 52.5),
+        (512, 2, 1.667, 29_459.0, 61.9),
+        (512, 4, 3.027, 37_955.0, 79.8),
+        (512, 8, 5.819, 41_546.0, 87.3),
+        (256, 1, 0.683, 24_554.0, 51.5),
+        (256, 2, 0.911, 28_259.0, 59.3),
+        (256, 4, 1.701, 36_733.0, 77.2),
+        (256, 8, 3.053, 40_310.0, 84.7),
+    ];
+
+    for &(batch, s, paper_mem, paper_speed, paper_eff) in paper {
+        let sp = speed(batch, s);
+        let eff = streams::schedule_efficiency(sp, theoretical) * 100.0;
+        let mem = streams::extra_gpu_memory_bytes(s, batch, 768, 768, 128, Precision::F16) as f64
+            / 1e9;
+        row(&[
+            batch.to_string(),
+            s.to_string(),
+            format!("{mem:.2} [{paper_mem}]"),
+            format!("{} [{}]", thousands(sp), thousands(paper_speed)),
+            format!("{eff:.1}% [{paper_eff}%]"),
+        ]);
+    }
+
+    println!(
+        "\nShape check: efficiency climbs from ~52% to ~87% as streams overlap the PCIe\n\
+         transfers with compute; each extra stream costs its own workspace (matrix A +\n\
+         staging buffer) in device memory."
+    );
+}

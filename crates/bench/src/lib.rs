@@ -1,0 +1,86 @@
+//! Shared reporting helpers for the table/figure generators.
+//!
+//! Each generator in `benches/` reproduces one table or figure from the
+//! paper and prints the paper's value next to the reproduced one, with the
+//! relative deviation, so `cargo bench` regenerates the whole evaluation
+//! section in one run. Results are summarized in `EXPERIMENTS.md`.
+
+/// Print a table header box.
+pub fn heading(title: &str) {
+    let bar = "=".repeat(title.len() + 4);
+    println!("\n{bar}\n| {title} |\n{bar}");
+}
+
+/// Print a row of cells with fixed 14-char columns.
+pub fn row(cells: &[String]) {
+    let line: Vec<String> = cells.iter().map(|c| format!("{c:>14}")).collect();
+    println!("{}", line.join(" | "));
+}
+
+/// Convenience: string cells from &str.
+pub fn srow(cells: &[&str]) {
+    row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+}
+
+/// Format a paper-vs-ours comparison cell: `ours (paper, ±x%)`.
+pub fn vs(ours: f64, paper: f64) -> String {
+    if paper == 0.0 {
+        return format!("{ours:.2}");
+    }
+    let dev = (ours - paper) / paper * 100.0;
+    format!("{ours:.1} ({paper:.1}, {dev:+.1}%)")
+}
+
+/// Format a number with thousands separators.
+pub fn thousands(v: f64) -> String {
+    let neg = v < 0.0;
+    let v = v.abs().round() as u64;
+    let s = v.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    if neg {
+        format!("-{out}")
+    } else {
+        out
+    }
+}
+
+/// Relative deviation as a percentage string.
+pub fn dev_pct(ours: f64, paper: f64) -> String {
+    if paper == 0.0 {
+        return "n/a".to_string();
+    }
+    format!("{:+.1}%", (ours - paper) / paper * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thousands_formatting() {
+        assert_eq!(thousands(45539.0), "45,539");
+        assert_eq!(thousands(872984.0), "872,984");
+        assert_eq!(thousands(12.0), "12");
+        assert_eq!(thousands(1234567.0), "1,234,567");
+    }
+
+    #[test]
+    fn deviation_formatting() {
+        assert_eq!(dev_pct(110.0, 100.0), "+10.0%");
+        assert_eq!(dev_pct(95.0, 100.0), "-5.0%");
+        assert_eq!(dev_pct(1.0, 0.0), "n/a");
+    }
+
+    #[test]
+    fn vs_cell() {
+        let s = vs(148.0, 148.5);
+        assert!(s.contains("148.0"));
+        assert!(s.contains("148.5"));
+    }
+}

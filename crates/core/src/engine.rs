@@ -1,0 +1,683 @@
+//! The single-node (one GPU) texture search engine.
+//!
+//! References are ingested as feature matrices, narrowed to the configured
+//! precision, concatenated into batches of `batch_size` (§5.2) and stored in
+//! the hybrid cache (§6.1). A search matches the query against **every**
+//! cached batch: device-resident batches go straight to the matcher;
+//! host-resident batches are charged an H2D transfer first. Multi-stream
+//! scheduling (§6.2) is applied as the calibrated throughput model from
+//! `texid_gpu::streams`.
+//!
+//! Two ingestion modes:
+//! * [`Engine::add_reference`] — real features (accuracy experiments,
+//!   examples, the distributed system);
+//! * [`Engine::add_reference_shape`] — shape-only phantom entries for
+//!   paper-scale *timing* experiments (a million 384×128 FP16 matrices
+//!   would not fit in test-host RAM, and their values do not affect the
+//!   cost model).
+
+use texid_cache::{CacheConfig, CacheError, CacheStats, HybridCache, Payload, Tier};
+use texid_gpu::{cost, streams, DeviceSpec, GpuSim, Kernel, Precision};
+use texid_knn::pair::D2H_BYTES_PER_QUERY_FEATURE;
+use texid_knn::{match_batch, Algorithm, ExecMode, FeatureBlock, MatchConfig};
+use texid_sift::FeatureMatrix;
+
+/// Engine configuration: the paper's co-optimization levers in one place.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Simulated device.
+    pub device: DeviceSpec,
+    /// Matching algorithm / precision / ratio threshold.
+    pub matching: MatchConfig,
+    /// Features kept per reference image (the paper's `m`, 384 optimal).
+    pub m_ref: usize,
+    /// Features expected per query image (the paper's `n`, 768 optimal).
+    pub n_query: usize,
+    /// References per batch (§5.2; 256 in the paper's optimal setup).
+    pub batch_size: usize,
+    /// CUDA streams = CPU worker threads (§6.2).
+    pub streams: usize,
+    /// Hybrid cache sizing.
+    pub cache: CacheConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            device: DeviceSpec::tesla_p100(),
+            matching: MatchConfig::default(),
+            m_ref: 384,
+            n_query: 768,
+            batch_size: 256,
+            streams: 8,
+            cache: CacheConfig::default(),
+        }
+    }
+}
+
+/// One cached reference batch: image ids plus the (possibly phantom) data.
+enum BatchData {
+    /// Real concatenated feature block.
+    Real(FeatureBlock),
+    /// Shape-only stand-in for timing experiments.
+    Phantom {
+        /// Total feature columns (refs × m).
+        cols: usize,
+        /// Descriptor dimension.
+        rows: usize,
+        /// Storage precision.
+        precision: Precision,
+    },
+}
+
+struct RefBatch {
+    ids: Vec<u64>,
+    m_per_ref: usize,
+    data: BatchData,
+}
+
+impl Payload for RefBatch {
+    fn size_bytes(&self) -> u64 {
+        match &self.data {
+            BatchData::Real(b) => b.size_bytes() as u64,
+            BatchData::Phantom { cols, rows, precision } => {
+                (cols * rows * precision.bytes()) as u64
+            }
+        }
+    }
+}
+
+/// Ranked search output.
+#[derive(Clone, Debug)]
+pub struct SearchResult {
+    /// `(image id, good-match score)`, best first. Empty in timing-only
+    /// searches.
+    pub ranked: Vec<(u64, usize)>,
+    /// Performance accounting for this search.
+    pub report: SearchReport,
+}
+
+impl SearchResult {
+    /// The identified image, if any cleared `min_matches`.
+    pub fn best(&self, min_matches: usize) -> Option<(u64, usize)> {
+        self.ranked.first().filter(|(_, s)| *s >= min_matches).copied()
+    }
+}
+
+/// Timing/throughput accounting for one search pass.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SearchReport {
+    /// Reference images compared.
+    pub images: usize,
+    /// Batches matched from device residency.
+    pub device_batches: usize,
+    /// Batches streamed from host memory.
+    pub host_batches: usize,
+    /// Simulated µs of H2D reference streaming.
+    pub h2d_us: f64,
+    /// Simulated µs of GEMM work.
+    pub gemm_us: f64,
+    /// Simulated µs of top-2 scanning.
+    pub sort_us: f64,
+    /// Simulated µs of D2H result copies.
+    pub d2h_us: f64,
+    /// Simulated µs of CPU post-processing.
+    pub post_us: f64,
+    /// Serial (single-stream) simulated total, µs.
+    pub serial_total_us: f64,
+    /// Wall total after the multi-stream model, µs.
+    pub total_us: f64,
+}
+
+impl SearchReport {
+    /// Simulated throughput in image comparisons per second.
+    pub fn images_per_second(&self) -> f64 {
+        if self.total_us <= 0.0 {
+            return 0.0;
+        }
+        self.images as f64 / self.total_us * 1e6
+    }
+
+    /// Per-image simulated time, µs.
+    pub fn per_image_us(&self) -> f64 {
+        if self.images == 0 {
+            return 0.0;
+        }
+        self.total_us / self.images as f64
+    }
+}
+
+/// The single-GPU search engine.
+///
+/// ```
+/// use texid_core::{Engine, EngineConfig};
+/// use texid_sift::FeatureMatrix;
+/// use texid_linalg::Mat;
+///
+/// // Index three references (synthetic unit-norm descriptors for brevity;
+/// // production code feeds `texid_sift::extract` output).
+/// let mut engine = Engine::new(EngineConfig { batch_size: 2, ..EngineConfig::default() });
+/// let feat = |seed: u64| {
+///     let mut m = Mat::from_fn(128, 32, |r, c| ((seed + 1) as f32 * (r * 31 + c * 7 + 1) as f32).sin().abs() + 1e-3);
+///     for c in 0..32 {
+///         let n: f32 = m.col(c).iter().map(|v| v * v).sum::<f32>().sqrt();
+///         for v in m.col_mut(c) { *v /= n; }
+///     }
+///     FeatureMatrix::from_mat(m, true)
+/// };
+/// for id in 0..3u64 {
+///     engine.add_reference(id, &feat(id)).unwrap();
+/// }
+/// engine.flush().unwrap();
+///
+/// // Searching with reference 1's own features identifies it.
+/// let result = engine.search(&feat(1));
+/// assert_eq!(result.ranked[0].0, 1);
+/// assert!(result.report.images_per_second() > 0.0);
+/// ```
+pub struct Engine {
+    cfg: EngineConfig,
+    sim: GpuSim,
+    cache: HybridCache<RefBatch>,
+    pending: Vec<(u64, FeatureBlock)>,
+    pending_phantom: usize,
+    phantom_ids: Vec<u64>,
+    next_batch: u64,
+    references: usize,
+}
+
+impl Engine {
+    /// Bring up a device and an empty index.
+    pub fn new(cfg: EngineConfig) -> Engine {
+        assert!(cfg.batch_size >= 1, "batch size must be positive");
+        assert!(cfg.streams >= 1, "need at least one stream");
+        let sim = GpuSim::new(cfg.device.clone());
+        let cache = HybridCache::new(cfg.cache);
+        Engine {
+            cfg,
+            sim,
+            cache,
+            pending: Vec::new(),
+            pending_phantom: 0,
+            phantom_ids: Vec::new(),
+            next_batch: 0,
+            references: 0,
+        }
+    }
+
+    /// Configuration in force.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Number of indexed references (including still-pending ones).
+    pub fn len(&self) -> usize {
+        self.references
+    }
+
+    /// True when no references are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.references == 0
+    }
+
+    /// Cache statistics.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The simulated device (for memory inspection).
+    pub fn sim(&self) -> &GpuSim {
+        &self.sim
+    }
+
+    /// Index a reference image's features. Features beyond `m_ref` columns
+    /// are truncated (they arrive sorted by detection response, so this is
+    /// exactly the paper's asymmetric top-m selection).
+    ///
+    /// # Errors
+    /// Propagates cache exhaustion.
+    pub fn add_reference(&mut self, id: u64, features: &FeatureMatrix) -> Result<(), CacheError> {
+        let d = features.dim();
+        let m = self.cfg.m_ref.min(features.len());
+        let mut data = features.mat.as_slice()[..d * m].to_vec();
+        // Batching requires uniform per-reference column counts (the
+        // blocked top-2 scan attributes rows by fixed stride). A reference
+        // that yielded fewer than m_ref features is padded with zero
+        // columns: a zero column is at squared distance 2 from every
+        // unit-norm query feature — never nearer than a genuine match — so
+        // padding is invisible to the ratio test.
+        if m < self.cfg.m_ref {
+            data.resize(d * self.cfg.m_ref, 0.0);
+        }
+        let mat = texid_linalg::Mat::from_col_major(d, self.cfg.m_ref, data);
+        let block =
+            FeatureBlock::from_mat(mat, self.cfg.matching.precision, self.cfg.matching.scale);
+        self.pending.push((id, block));
+        self.references += 1;
+        if self.pending.len() >= self.cfg.batch_size {
+            self.seal_real_batch()?;
+        }
+        Ok(())
+    }
+
+    /// Index a phantom reference (shape only) for timing experiments.
+    ///
+    /// # Errors
+    /// Propagates cache exhaustion.
+    ///
+    /// # Panics
+    /// Panics if real references are already pending (modes cannot mix
+    /// within a batch).
+    pub fn add_reference_shape(&mut self, id: u64) -> Result<(), CacheError> {
+        assert!(self.pending.is_empty(), "cannot mix real and phantom references");
+        self.phantom_ids.push(id);
+        self.pending_phantom += 1;
+        self.references += 1;
+        if self.pending_phantom >= self.cfg.batch_size {
+            self.seal_phantom_batch()?;
+        }
+        Ok(())
+    }
+
+    /// Seal any partial batch (call after the last `add_reference`).
+    ///
+    /// # Errors
+    /// Propagates cache exhaustion.
+    pub fn flush(&mut self) -> Result<(), CacheError> {
+        if !self.pending.is_empty() {
+            self.seal_real_batch()?;
+        }
+        if self.pending_phantom > 0 {
+            self.seal_phantom_batch()?;
+        }
+        Ok(())
+    }
+
+    fn seal_real_batch(&mut self) -> Result<(), CacheError> {
+        let ids: Vec<u64> = self.pending.iter().map(|(id, _)| *id).collect();
+        let blocks: Vec<&FeatureBlock> = self.pending.iter().map(|(_, b)| b).collect();
+        let cat = FeatureBlock::hconcat(&blocks);
+        debug_assert_eq!(cat.cols(), ids.len() * self.cfg.m_ref, "non-uniform batch");
+        let m_per_ref = self.cfg.m_ref;
+        let batch = RefBatch { ids, m_per_ref, data: BatchData::Real(cat) };
+        let id = self.next_batch;
+        self.next_batch += 1;
+        self.cache.insert(id, batch, &mut self.sim)?;
+        self.pending.clear();
+        Ok(())
+    }
+
+    fn seal_phantom_batch(&mut self) -> Result<(), CacheError> {
+        let ids = std::mem::take(&mut self.phantom_ids);
+        let batch = RefBatch {
+            m_per_ref: self.cfg.m_ref,
+            data: BatchData::Phantom {
+                cols: ids.len() * self.cfg.m_ref,
+                rows: 128,
+                precision: self.cfg.matching.precision,
+            },
+            ids,
+        };
+        let id = self.next_batch;
+        self.next_batch += 1;
+        self.cache.insert(id, batch, &mut self.sim)?;
+        self.pending_phantom = 0;
+        Ok(())
+    }
+
+    /// Export every *real* indexed reference as `(id, dequantized d×m
+    /// feature matrix)` pairs — a device-independent snapshot that
+    /// [`Engine::import_references`] (on any engine configuration) can
+    /// rebuild an index from. Zero-padded columns from short references are
+    /// exported as-is (they are semantically inert).
+    ///
+    /// Phantom (timing-only) references are skipped.
+    pub fn export_references(&mut self) -> Vec<(u64, texid_linalg::Mat)> {
+        let mut out = Vec::with_capacity(self.references);
+        for (_, batch, _) in self.cache.search_iter() {
+            let BatchData::Real(block) = &batch.data else { continue };
+            let d = block.rows();
+            let full = match block {
+                FeatureBlock::F32(m) => m.clone(),
+                FeatureBlock::F16 { mat, scale } => mat.to_f32_unscaled(*scale),
+            };
+            for (i, &id) in batch.ids.iter().enumerate() {
+                let start = i * batch.m_per_ref * d;
+                let end = start + batch.m_per_ref * d;
+                out.push((
+                    id,
+                    texid_linalg::Mat::from_col_major(
+                        d,
+                        batch.m_per_ref,
+                        full.as_slice()[start..end].to_vec(),
+                    ),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Rebuild an index from an [`Engine::export_references`] snapshot.
+    ///
+    /// # Errors
+    /// Propagates cache exhaustion.
+    pub fn import_references(
+        &mut self,
+        snapshot: impl IntoIterator<Item = (u64, texid_linalg::Mat)>,
+    ) -> Result<(), CacheError> {
+        for (id, mat) in snapshot {
+            self.add_reference(id, &FeatureMatrix::from_mat(mat, true))?;
+        }
+        self.flush()
+    }
+
+    /// Search the query against every indexed reference. The query feature
+    /// matrix is truncated to `n_query` columns (asymmetric n).
+    ///
+    /// A degenerate query (no features) returns every reference with a
+    /// zero score rather than panicking — extraction can legitimately come
+    /// up empty on an all-occluded capture.
+    pub fn search(&mut self, query: &FeatureMatrix) -> SearchResult {
+        let n = self.cfg.n_query.min(query.len());
+        let qmat = texid_linalg::Mat::from_col_major(
+            query.dim(),
+            n,
+            query.mat.as_slice()[..query.dim() * n].to_vec(),
+        );
+        let qblock =
+            FeatureBlock::from_mat(qmat, self.cfg.matching.precision, self.cfg.matching.scale);
+
+        let mut report = SearchReport::default();
+        let mut ranked: Vec<(u64, usize)> = Vec::new();
+        let pinned = self.cfg.cache.pinned;
+        let spec = self.sim.spec().clone();
+
+        // Collect batch descriptors first (borrow juggling with the cache).
+        struct Work<'a> {
+            batch: &'a RefBatch,
+            tier: Tier,
+        }
+        let work: Vec<Work<'_>> = {
+            let iter = self.cache.search_iter();
+            iter.map(|(_, b, tier)| Work { batch: b, tier }).collect()
+        };
+
+        for w in &work {
+            let bsize = w.batch.ids.len();
+            let m_per = w.batch.m_per_ref;
+            let cols = bsize * m_per;
+            report.images += bsize;
+
+            // Host-resident batches stream over PCIe first (§6.1).
+            if w.tier == Tier::Host {
+                report.host_batches += 1;
+                let bytes = w.batch.size_bytes();
+                report.h2d_us += cost::h2d_duration_us(&spec, bytes, pinned);
+            } else {
+                report.device_batches += 1;
+            }
+
+            // Kernel + copy durations (engine-level accounting; the serial
+            // per-batch pipeline matches `texid_knn::match_batch`).
+            report.gemm_us += cost::kernel_duration_us(&spec, &Kernel::Gemm {
+                m_rows: cols,
+                n_cols: n,
+                k_depth: 128,
+                precision: self.cfg.matching.precision,
+                tensor_core: self.cfg.matching.tensor_core,
+            });
+            report.sort_us += cost::kernel_duration_us(&spec, &Kernel::Top2Scan {
+                m_rows: m_per,
+                n_cols: bsize * n,
+                precision: self.cfg.matching.precision,
+            });
+            report.d2h_us += cost::d2h_duration_us(
+                &spec,
+                (bsize * n) as u64 * D2H_BYTES_PER_QUERY_FEATURE,
+            );
+            report.post_us += cost::cpu_post_us(&spec, bsize);
+
+            // Functional matching for real batches when numerics are on.
+            if self.cfg.matching.exec == ExecMode::Full {
+                if let BatchData::Real(block) = &w.batch.data {
+                    let cfg = MatchConfig {
+                        algorithm: Algorithm::RootSiftTop2,
+                        exec: ExecMode::Full,
+                        ..self.cfg.matching
+                    };
+                    // Functional-only scratch sim: timing is accounted above.
+                    let mut scratch = GpuSim::new(spec.clone());
+                    let st = scratch.default_stream();
+                    let out = match_batch(&cfg, block, bsize, m_per, &qblock, &mut scratch, st);
+                    for (i, &id) in w.batch.ids.iter().enumerate() {
+                        ranked.push((id, out.scores[i]));
+                    }
+                }
+            }
+        }
+        drop(work);
+
+        report.serial_total_us =
+            report.h2d_us + report.gemm_us + report.sort_us + report.d2h_us + report.post_us;
+        report.total_us =
+            report.serial_total_us * streams::stream_time_factor(&spec, self.cfg.streams);
+
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        SearchResult { ranked, report }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use texid_image::{CaptureCondition, TextureGenerator};
+    use texid_sift::{extract, SiftConfig};
+
+    fn tiny_engine(batch: usize, streams: usize) -> Engine {
+        Engine::new(EngineConfig {
+            m_ref: 128,
+            n_query: 256,
+            batch_size: batch,
+            streams,
+            ..EngineConfig::default()
+        })
+    }
+
+    fn features(seed: u64, n: usize) -> FeatureMatrix {
+        let im = TextureGenerator::with_size(128).generate(seed);
+        extract(&im, &SiftConfig { max_features: n, ..SiftConfig::default() })
+    }
+
+    #[test]
+    fn end_to_end_identification() {
+        let mut engine = tiny_engine(4, 1);
+        for id in 0..6u64 {
+            engine.add_reference(id, &features(id, 128)).unwrap();
+        }
+        engine.flush().unwrap();
+        assert_eq!(engine.len(), 6);
+
+        // Query = re-captured texture 3.
+        let im = TextureGenerator::with_size(128).generate(3);
+        let mut rng = rand::SeedableRng::seed_from_u64(7);
+        let q_img = CaptureCondition::mild(&mut rng).apply(&im, 1);
+        let q = extract(&q_img, &SiftConfig { max_features: 256, ..SiftConfig::default() });
+
+        let result = engine.search(&q);
+        assert_eq!(result.ranked.len(), 6);
+        assert_eq!(result.ranked[0].0, 3, "wrong identification: {:?}", result.ranked);
+        // Decisive margin.
+        assert!(result.ranked[0].1 >= 3 * result.ranked[1].1.max(1));
+        assert!(result.best(10).is_some());
+    }
+
+    #[test]
+    fn partial_batches_require_flush() {
+        let mut engine = tiny_engine(8, 1);
+        for id in 0..3u64 {
+            engine.add_reference(id, &features(id, 128)).unwrap();
+        }
+        // Not sealed yet: search sees nothing.
+        let q = features(0, 256);
+        assert_eq!(engine.search(&q).ranked.len(), 0);
+        engine.flush().unwrap();
+        assert_eq!(engine.search(&q).ranked.len(), 3);
+    }
+
+    #[test]
+    fn phantom_mode_reports_timing_without_matches() {
+        let mut engine = Engine::new(EngineConfig {
+            matching: MatchConfig { exec: ExecMode::TimingOnly, ..MatchConfig::default() },
+            m_ref: 384,
+            n_query: 768,
+            batch_size: 256,
+            streams: 1,
+            ..EngineConfig::default()
+        });
+        for id in 0..1024u64 {
+            engine.add_reference_shape(id).unwrap();
+        }
+        engine.flush().unwrap();
+        let q = features(0, 768);
+        let r = engine.search(&q);
+        assert!(r.ranked.is_empty());
+        assert_eq!(r.report.images, 1024);
+        assert!(r.report.images_per_second() > 10_000.0);
+    }
+
+    #[test]
+    fn host_resident_batches_slow_search_down() {
+        // Small device: most batches end up host-resident; per-image time
+        // must exceed the all-device configuration (Table 5's story).
+        let mut small_dev = DeviceSpec::tesla_p100();
+        small_dev.mem_bytes = 1 << 30;
+        small_dev.context_overhead_bytes = 0;
+        let mk = |dev: DeviceSpec| {
+            Engine::new(EngineConfig {
+                device: dev,
+                matching: MatchConfig { exec: ExecMode::TimingOnly, ..MatchConfig::default() },
+                m_ref: 384,
+                n_query: 768,
+                batch_size: 128,
+                streams: 1,
+                cache: CacheConfig {
+                    host_capacity_bytes: 64 << 30,
+                    device_reserve_bytes: 256 << 20,
+                    pinned: true,
+                },
+                ..EngineConfig::default()
+            })
+        };
+        let mut cramped = mk(small_dev);
+        let mut roomy = mk(DeviceSpec::tesla_p100());
+        for id in 0..16384u64 {
+            cramped.add_reference_shape(id).unwrap();
+            roomy.add_reference_shape(id).unwrap();
+        }
+        cramped.flush().unwrap();
+        roomy.flush().unwrap();
+        let q = features(0, 768);
+        let slow = cramped.search(&q).report;
+        let fast = roomy.search(&q).report;
+        assert!(slow.host_batches > 0);
+        assert_eq!(fast.host_batches, 0);
+        assert!(slow.per_image_us() > fast.per_image_us() * 1.3);
+    }
+
+    #[test]
+    fn more_streams_faster_search() {
+        let build = |streams: usize| {
+            let mut e = Engine::new(EngineConfig {
+                matching: MatchConfig { exec: ExecMode::TimingOnly, ..MatchConfig::default() },
+                streams,
+                ..EngineConfig::default()
+            });
+            for id in 0..2048u64 {
+                e.add_reference_shape(id).unwrap();
+            }
+            e.flush().unwrap();
+            e
+        };
+        let q = features(0, 768);
+        let s1 = build(1).search(&q).report.images_per_second();
+        let s4 = build(4).search(&q).report.images_per_second();
+        let s8 = build(8).search(&q).report.images_per_second();
+        assert!(s4 > s1 * 1.3);
+        assert!(s8 > s4);
+    }
+
+    #[test]
+    fn short_references_are_padded_not_corrupted() {
+        // One reference with fewer features than m_ref must not shift the
+        // batch attribution of its neighbours.
+        let mut engine = Engine::new(EngineConfig {
+            m_ref: 128,
+            n_query: 256,
+            batch_size: 3,
+            streams: 1,
+            ..EngineConfig::default()
+        });
+        let full_a = features(0, 128);
+        let short = features(1, 128).truncated(40); // deliberately short
+        let full_b = features(2, 128);
+        engine.add_reference(0, &full_a).unwrap();
+        engine.add_reference(1, &short).unwrap();
+        engine.add_reference(2, &full_b).unwrap();
+        engine.flush().unwrap();
+
+        // Each reference still wins its own self-query decisively.
+        for (id, _f) in [(0u64, &full_a), (1, &short), (2, &full_b)] {
+            let r = engine.search(&features(id, 256));
+            assert_eq!(r.ranked[0].0, id, "id {id}: {:?}", r.ranked);
+            assert!(r.ranked[0].1 >= 3 * r.ranked[1].1.max(1), "id {id}: {:?}", r.ranked);
+        }
+    }
+
+    #[test]
+    fn export_import_roundtrip_preserves_search() {
+        let mut engine = tiny_engine(3, 1);
+        for id in 0..5u64 {
+            engine.add_reference(id, &features(id, 128)).unwrap();
+        }
+        engine.flush().unwrap();
+        let q = features(2, 256);
+        let before = engine.search(&q).ranked;
+
+        let snapshot = engine.export_references();
+        assert_eq!(snapshot.len(), 5);
+        let mut restored = tiny_engine(2, 1); // different batch size on purpose
+        restored.import_references(snapshot).unwrap();
+        let mut after = restored.search(&q).ranked;
+        let mut before_sorted = before.clone();
+        before_sorted.sort();
+        after.sort();
+        assert_eq!(before_sorted, after, "snapshot changed search results");
+    }
+
+    #[test]
+    fn empty_query_returns_zero_scores() {
+        let mut engine = tiny_engine(2, 1);
+        for id in 0..3u64 {
+            engine.add_reference(id, &features(id, 128)).unwrap();
+        }
+        engine.flush().unwrap();
+        let empty = FeatureMatrix::from_mat(texid_linalg::Mat::zeros(128, 0), true);
+        let r = engine.search(&empty);
+        assert_eq!(r.ranked.len(), 3);
+        assert!(r.ranked.iter().all(|(_, s)| *s == 0));
+        assert!(r.best(1).is_none());
+    }
+
+    #[test]
+    fn asymmetric_m_truncates_reference_features() {
+        let mut engine = Engine::new(EngineConfig {
+            m_ref: 64,
+            batch_size: 1,
+            ..EngineConfig::default()
+        });
+        engine.add_reference(0, &features(0, 128)).unwrap();
+        engine.flush().unwrap();
+        // 64 features × 128 dims × 2 B = 16 KiB in the cache.
+        assert_eq!(engine.cache_stats().inserted, 1);
+    }
+}

@@ -1,0 +1,69 @@
+//! Performance metrics: the paper's Eq. 3 (GPU efficiency) and achieved
+//! TFLOPS accounting behind Table 4.
+
+use texid_gpu::{DeviceSpec, Precision};
+
+/// FLOPs of one image comparison's GEMM: `2·m·n·d`.
+pub fn flops_per_comparison(m: usize, n: usize, d: usize) -> f64 {
+    2.0 * m as f64 * n as f64 * d as f64
+}
+
+/// Achieved TFLOPS at a measured search speed (images/s), counting the
+/// similarity GEMM as the useful work — the paper's convention in §5.2/T4.
+pub fn achieved_tflops(speed_img_s: f64, m: usize, n: usize, d: usize) -> f64 {
+    speed_img_s * flops_per_comparison(m, n, d) / 1e12
+}
+
+/// Eq. 3: achieved over theoretical TFLOPS.
+pub fn gpu_efficiency(
+    spec: &DeviceSpec,
+    speed_img_s: f64,
+    m: usize,
+    n: usize,
+    d: usize,
+    precision: Precision,
+    tensor_core: bool,
+) -> f64 {
+    achieved_tflops(speed_img_s, m, n, d) / spec.peak_tflops(precision, tensor_core)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use texid_gpu::DeviceSpec;
+
+    #[test]
+    fn paper_flop_count() {
+        // §3.3: 768² × 128 ⇒ "75 million multiply-add operations".
+        let flops = flops_per_comparison(768, 768, 128);
+        assert_eq!(flops, 150_994_944.0); // 75.5 M MACs = 151 M FLOPs
+    }
+
+    #[test]
+    fn table4_p100_row() {
+        // 45,539 img/s ⇒ 6.88 TFLOPS ⇒ ~36.8% of 18.7 (paper rounds to
+        // 6.69 / 35.8% using slightly different counting).
+        let spec = DeviceSpec::tesla_p100();
+        let t = achieved_tflops(45_539.0, 768, 768, 128);
+        assert!((t - 6.69).abs() < 0.25, "achieved {t} TFLOPS");
+        let eff = gpu_efficiency(&spec, 45_539.0, 768, 768, 128, Precision::F16, false);
+        assert!((eff - 0.358).abs() < 0.015, "efficiency {eff}");
+    }
+
+    #[test]
+    fn table4_v100_rows() {
+        let spec = DeviceSpec::tesla_v100();
+        let eff_plain = gpu_efficiency(&spec, 67_612.0, 768, 768, 128, Precision::F16, false);
+        assert!((eff_plain - 0.355).abs() < 0.02, "w/o TC {eff_plain}");
+        let eff_tc = gpu_efficiency(&spec, 86_519.0, 768, 768, 128, Precision::F16, true);
+        assert!((eff_tc - 0.114).abs() < 0.01, "w/ TC {eff_tc}");
+    }
+
+    #[test]
+    fn efficiency_scales_inversely_with_peak() {
+        let spec = DeviceSpec::tesla_v100();
+        let no_tc = gpu_efficiency(&spec, 50_000.0, 768, 768, 128, Precision::F16, false);
+        let tc = gpu_efficiency(&spec, 50_000.0, 768, 768, 128, Precision::F16, true);
+        assert!((no_tc / tc - 4.0).abs() < 1e-6); // 112 / 28
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests for the search engine, on synthetic unit-norm
+//! features (no extraction — these probe the indexing/search machinery).
+
+use proptest::prelude::*;
+use texid_cache::CacheConfig;
+use texid_core::{Engine, EngineConfig};
+use texid_gpu::{DeviceSpec, Precision};
+use texid_knn::{ExecMode, MatchConfig};
+use texid_linalg::Mat;
+use texid_sift::FeatureMatrix;
+
+fn unit_features(d: usize, cols: usize, seed: u64) -> FeatureMatrix {
+    let mut state = seed | 1;
+    let mut m = Mat::from_fn(d, cols, |_, _| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 40) & 0xffff) as f32 / 65535.0 + 1e-4
+    });
+    for c in 0..cols {
+        let norm: f32 = m.col(c).iter().map(|v| v * v).sum::<f32>().sqrt();
+        for v in m.col_mut(c) {
+            *v /= norm;
+        }
+    }
+    FeatureMatrix::from_mat(m, true)
+}
+
+fn engine(batch: usize, m_ref: usize, precision: Precision) -> Engine {
+    Engine::new(EngineConfig {
+        matching: MatchConfig { precision, exec: ExecMode::Full, ..MatchConfig::default() },
+        m_ref,
+        n_query: 64,
+        batch_size: batch,
+        streams: 1,
+        ..EngineConfig::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn self_queries_always_win(
+        n_refs in 2usize..12,
+        batch in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let mut e = engine(batch, 32, Precision::F32);
+        let refs: Vec<FeatureMatrix> =
+            (0..n_refs).map(|i| unit_features(32, 32, seed ^ (i as u64 * 977))).collect();
+        for (id, f) in refs.iter().enumerate() {
+            e.add_reference(id as u64, f).expect("capacity");
+        }
+        e.flush().expect("flush");
+        for (id, f) in refs.iter().enumerate() {
+            let r = e.search(f);
+            prop_assert_eq!(r.ranked.len(), n_refs);
+            prop_assert_eq!(r.ranked[0].0, id as u64, "self-query lost");
+            // Self-match passes the ratio test for (almost) every feature.
+            prop_assert!(r.ranked[0].1 >= 28, "weak self score {}", r.ranked[0].1);
+        }
+    }
+
+    #[test]
+    fn scores_independent_of_insertion_order(
+        n_refs in 2usize..8,
+        batch in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let refs: Vec<FeatureMatrix> =
+            (0..n_refs).map(|i| unit_features(24, 24, seed ^ (i as u64 * 31))).collect();
+        let q = unit_features(24, 40, seed ^ 0xdead);
+
+        let run = |order: Vec<usize>| {
+            let mut e = engine(batch, 24, Precision::F32);
+            for &i in &order {
+                e.add_reference(i as u64, &refs[i]).expect("capacity");
+            }
+            e.flush().expect("flush");
+            let mut ranked = e.search(&q).ranked;
+            ranked.sort();
+            ranked
+        };
+        let forward = run((0..n_refs).collect());
+        let backward = run((0..n_refs).rev().collect());
+        prop_assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn fp16_and_fp32_rank_the_same_winner(
+        n_refs in 3usize..8,
+        seed in any::<u64>(),
+    ) {
+        let refs: Vec<FeatureMatrix> =
+            (0..n_refs).map(|i| unit_features(32, 24, seed ^ (i as u64 * 131))).collect();
+        // Query = noisy copy of reference 1.
+        let mut q = refs[1].mat.clone();
+        let mut state = seed | 3;
+        for v in q.as_mut_slice() {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(1);
+            *v += ((state >> 45) as f32 / (1u64 << 19) as f32 - 0.05) * 0.05;
+        }
+        let q = FeatureMatrix::from_mat(q, true);
+
+        let run = |precision| {
+            let mut e = engine(2, 24, precision);
+            for (id, f) in refs.iter().enumerate() {
+                e.add_reference(id as u64, f).expect("capacity");
+            }
+            e.flush().expect("flush");
+            e.search(&q).ranked[0].0
+        };
+        prop_assert_eq!(run(Precision::F32), 1);
+        prop_assert_eq!(run(Precision::F16), 1);
+    }
+
+    #[test]
+    fn report_accounting_consistent(
+        n_refs in 1usize..20,
+        batch in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mut e = engine(batch, 16, Precision::F32);
+        for i in 0..n_refs {
+            e.add_reference(i as u64, &unit_features(16, 16, seed ^ (i as u64)))
+                .expect("capacity");
+        }
+        e.flush().expect("flush");
+        let r = e.search(&unit_features(16, 16, seed ^ 0xffff));
+        prop_assert_eq!(r.report.images, n_refs);
+        let batches = r.report.device_batches + r.report.host_batches;
+        prop_assert_eq!(batches, n_refs.div_ceil(batch));
+        prop_assert!(r.report.total_us > 0.0);
+        prop_assert!(r.report.total_us <= r.report.serial_total_us + 1e-9);
+    }
+}
+
+#[test]
+fn capacity_exhaustion_surfaces_as_error() {
+    // A deliberately tiny device + tiny host must reject the overflowing
+    // reference instead of panicking or silently dropping it.
+    let mut small = DeviceSpec::tesla_p100();
+    small.mem_bytes = 8 << 20;
+    small.context_overhead_bytes = 0;
+    let mut e = Engine::new(EngineConfig {
+        device: small,
+        matching: MatchConfig { exec: ExecMode::TimingOnly, ..MatchConfig::default() },
+        m_ref: 384,
+        n_query: 768,
+        batch_size: 1,
+        streams: 1,
+        cache: CacheConfig {
+            host_capacity_bytes: 1 << 20,
+            device_reserve_bytes: 0,
+            pinned: true,
+        },
+    });
+    let mut failed = false;
+    for id in 0..200u64 {
+        if e.add_reference_shape(id).is_err() {
+            failed = true;
+            break;
+        }
+    }
+    assert!(failed, "capacity exhaustion never surfaced");
+    // The engine still answers searches over what fit.
+    let q = FeatureMatrix::from_mat(Mat::zeros(128, 768), true);
+    let r = e.search(&q);
+    assert!(r.report.images > 0);
+}

@@ -1,0 +1,312 @@
+//! The RESTful texture API (§8: "we can add, delete, update, and search a
+//! texture image through the provided APIs").
+//!
+//! | route | method | body | effect |
+//! |---|---|---|---|
+//! | `/textures` | POST | `{"id": N, "features": "<base64 wire>"}` | add |
+//! | `/textures/{id}` | GET | — | fetch stored features |
+//! | `/textures/{id}` | PUT | `{"features": "<base64 wire>"}` | update |
+//! | `/textures/{id}` | DELETE | — | delete |
+//! | `/search` | POST | `{"features": "<base64 wire>", "top": K}` | search |
+//! | `/verify` | POST | `{"id": N, "features": "<base64 wire>"}` | 1:1 verification |
+//! | `/stats` | GET | — | cluster statistics |
+//!
+//! Feature payloads travel as base64-encoded protobuf-style bytes
+//! ([`crate::wire`]), matching the paper's protobuf serialization.
+
+use crate::b64;
+use crate::cluster::{Cluster, ClusterError};
+use crate::http::{HttpServer, Request, Response};
+use crate::json::{parse, Json};
+use crate::wire;
+use std::sync::Arc;
+use texid_sift::FeatureMatrix;
+
+fn err_json(status: u16, msg: &str) -> Response {
+    Response::json(status, Json::obj([("error", Json::Str(msg.to_string()))]).to_string())
+}
+
+fn parse_features_field(v: &Json, field: &str) -> Result<FeatureMatrix, Response> {
+    let b64_text = v
+        .get(field)
+        .and_then(Json::as_str)
+        .ok_or_else(|| err_json(400, "missing features field"))?;
+    let bytes = b64::decode(b64_text).map_err(|_| err_json(400, "invalid base64"))?;
+    wire::decode_features(&bytes).map_err(|_| err_json(400, "invalid feature payload"))
+}
+
+fn cluster_err(e: ClusterError) -> Response {
+    match e {
+        ClusterError::NotFound(_) => err_json(404, &e.to_string()),
+        _ => err_json(500, &e.to_string()),
+    }
+}
+
+/// Route one request against the cluster.
+pub fn handle(cluster: &Cluster, req: &Request) -> Response {
+    let segments: Vec<&str> = req.path.trim_matches('/').split('/').collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("POST", ["textures"]) => {
+            let body = String::from_utf8_lossy(&req.body);
+            let v = match parse(&body) {
+                Ok(v) => v,
+                Err(e) => return err_json(400, &e.to_string()),
+            };
+            let Some(id) = v.get("id").and_then(Json::as_u64) else {
+                return err_json(400, "missing id");
+            };
+            let features = match parse_features_field(&v, "features") {
+                Ok(f) => f,
+                Err(resp) => return resp,
+            };
+            match cluster.add_texture(id, &features) {
+                Ok(()) => Response::json(
+                    201,
+                    Json::obj([("id", Json::Num(id as f64)), ("ok", Json::Bool(true))])
+                        .to_string(),
+                ),
+                Err(e) => cluster_err(e),
+            }
+        }
+        ("GET", ["textures", id]) => {
+            let Ok(id) = id.parse::<u64>() else {
+                return err_json(400, "bad id");
+            };
+            match cluster.get_texture(id) {
+                Ok(f) => Response::json(
+                    200,
+                    Json::obj([
+                        ("id", Json::Num(id as f64)),
+                        ("count", Json::Num(f.len() as f64)),
+                        ("features", Json::Str(b64::encode(&wire::encode_features(&f)))),
+                    ])
+                    .to_string(),
+                ),
+                Err(e) => cluster_err(e),
+            }
+        }
+        ("PUT", ["textures", id]) => {
+            let Ok(id) = id.parse::<u64>() else {
+                return err_json(400, "bad id");
+            };
+            let body = String::from_utf8_lossy(&req.body);
+            let v = match parse(&body) {
+                Ok(v) => v,
+                Err(e) => return err_json(400, &e.to_string()),
+            };
+            let features = match parse_features_field(&v, "features") {
+                Ok(f) => f,
+                Err(resp) => return resp,
+            };
+            match cluster.update_texture(id, &features) {
+                Ok(()) => Response::json(200, r#"{"ok":true}"#.to_string()),
+                Err(e) => cluster_err(e),
+            }
+        }
+        ("DELETE", ["textures", id]) => {
+            let Ok(id) = id.parse::<u64>() else {
+                return err_json(400, "bad id");
+            };
+            match cluster.delete_texture(id) {
+                Ok(()) => Response::json(200, r#"{"ok":true}"#.to_string()),
+                Err(e) => cluster_err(e),
+            }
+        }
+        ("POST", ["search"]) => {
+            let body = String::from_utf8_lossy(&req.body);
+            let v = match parse(&body) {
+                Ok(v) => v,
+                Err(e) => return err_json(400, &e.to_string()),
+            };
+            let features = match parse_features_field(&v, "features") {
+                Ok(f) => f,
+                Err(resp) => return resp,
+            };
+            let top = v.get("top").and_then(Json::as_u64).unwrap_or(5) as usize;
+            let out = cluster.search(&features, top);
+            let results = Json::Arr(
+                out.results
+                    .iter()
+                    .map(|(id, score)| {
+                        Json::obj([
+                            ("id", Json::Num(*id as f64)),
+                            ("score", Json::Num(*score as f64)),
+                        ])
+                    })
+                    .collect(),
+            );
+            Response::json(
+                200,
+                Json::obj([
+                    ("results", results),
+                    ("comparisons", Json::Num(out.comparisons as f64)),
+                    ("wall_us", Json::Num(out.wall_us)),
+                    ("images_per_second", Json::Num(out.images_per_second())),
+                ])
+                .to_string(),
+            )
+        }
+        ("POST", ["verify"]) => {
+            let body = String::from_utf8_lossy(&req.body);
+            let v = match parse(&body) {
+                Ok(v) => v,
+                Err(e) => return err_json(400, &e.to_string()),
+            };
+            let Some(id) = v.get("id").and_then(Json::as_u64) else {
+                return err_json(400, "missing id");
+            };
+            let features = match parse_features_field(&v, "features") {
+                Ok(f) => f,
+                Err(resp) => return resp,
+            };
+            let min_matches = v.get("min_matches").and_then(Json::as_u64).unwrap_or(10) as usize;
+            let min_inliers = v.get("min_inliers").and_then(Json::as_u64).unwrap_or(8) as usize;
+            match cluster.verify(id, &features, min_matches, min_inliers) {
+                Ok(r) => Response::json(
+                    200,
+                    Json::obj([
+                        ("id", Json::Num(id as f64)),
+                        ("accepted", Json::Bool(r.accepted)),
+                        ("good_matches", Json::Num(r.good_matches as f64)),
+                        ("geometric_inliers", Json::Num(r.geometric_inliers as f64)),
+                        ("scale", Json::Num(r.transform_scale as f64)),
+                        ("rotation_deg", Json::Num(r.transform_rotation.to_degrees() as f64)),
+                    ])
+                    .to_string(),
+                ),
+                Err(e) => cluster_err(e),
+            }
+        }
+        ("GET", ["stats"]) => {
+            let s = cluster.stats();
+            Response::json(
+                200,
+                Json::obj([
+                    ("containers", Json::Num(s.containers as f64)),
+                    ("textures", Json::Num(s.textures as f64)),
+                    ("store_bytes", Json::Num(s.store_bytes as f64)),
+                    ("capacity_images", Json::Num(s.capacity_images as f64)),
+                ])
+                .to_string(),
+            )
+        }
+        (_, ["textures"] | ["textures", _] | ["search"] | ["verify"] | ["stats"]) => {
+            err_json(405, "method not allowed")
+        }
+        _ => err_json(404, "no such route"),
+    }
+}
+
+/// Spawn the REST service bound to `addr` (use `127.0.0.1:0` in tests).
+pub fn serve(cluster: Arc<Cluster>, addr: &str) -> std::io::Result<HttpServer> {
+    HttpServer::spawn(addr, Arc::new(move |req: &Request| handle(&cluster, req)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use crate::http::http_call;
+    use texid_core::EngineConfig;
+    use texid_image::TextureGenerator;
+    use texid_sift::{extract, SiftConfig};
+
+    fn test_cluster() -> Arc<Cluster> {
+        Arc::new(Cluster::new(ClusterConfig {
+            containers: 2,
+            engine: EngineConfig {
+                m_ref: 128,
+                n_query: 256,
+                batch_size: 2,
+                streams: 1,
+                ..EngineConfig::default()
+            },
+        }))
+    }
+
+    fn features_b64(seed: u64, n: usize) -> String {
+        let im = TextureGenerator::with_size(128).generate(seed);
+        let f = extract(&im, &SiftConfig { max_features: n, ..SiftConfig::default() });
+        b64::encode(&wire::encode_features(&f))
+    }
+
+    #[test]
+    fn rest_end_to_end() {
+        let cluster = test_cluster();
+        let server = serve(cluster, "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+
+        // Add three textures.
+        for id in 0..3u64 {
+            let body = format!(r#"{{"id": {id}, "features": "{}"}}"#, features_b64(id, 128));
+            let resp = http_call(addr, "POST", "/textures", body.as_bytes()).unwrap();
+            assert_eq!(resp.status, 201, "{}", resp.text());
+        }
+
+        // Stats reflect them.
+        let stats = http_call(addr, "GET", "/stats", b"").unwrap();
+        assert!(stats.text().contains(r#""textures":3"#), "{}", stats.text());
+
+        // Search finds the right one.
+        let body = format!(r#"{{"features": "{}", "top": 2}}"#, features_b64(1, 256));
+        let resp = http_call(addr, "POST", "/search", body.as_bytes()).unwrap();
+        assert_eq!(resp.status, 200);
+        let v = parse(&resp.text()).unwrap();
+        let results = v.get("results").unwrap().as_arr().unwrap();
+        assert_eq!(results[0].get("id").unwrap().as_u64(), Some(1), "{}", resp.text());
+
+        // Fetch, update, delete.
+        let got = http_call(addr, "GET", "/textures/1", b"").unwrap();
+        assert_eq!(got.status, 200);
+        let body = format!(r#"{{"features": "{}"}}"#, features_b64(1, 128));
+        assert_eq!(http_call(addr, "PUT", "/textures/1", body.as_bytes()).unwrap().status, 200);
+        assert_eq!(http_call(addr, "DELETE", "/textures/1", b"").unwrap().status, 200);
+        assert_eq!(http_call(addr, "DELETE", "/textures/1", b"").unwrap().status, 404);
+        assert_eq!(http_call(addr, "GET", "/textures/1", b"").unwrap().status, 404);
+    }
+
+    #[test]
+    fn verify_endpoint() {
+        let cluster = test_cluster();
+        let server = serve(cluster, "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        for id in 0..2u64 {
+            let body = format!(r#"{{"id": {id}, "features": "{}"}}"#, features_b64(id, 128));
+            http_call(addr, "POST", "/textures", body.as_bytes()).unwrap();
+        }
+        // Genuine claim (the exact enrolled image matches itself strongly).
+        let body = format!(r#"{{"id": 0, "features": "{}"}}"#, features_b64(0, 256));
+        let resp = http_call(addr, "POST", "/verify", body.as_bytes()).unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(resp.text().contains(r#""accepted":true"#), "{}", resp.text());
+        // Wrong claim.
+        let body = format!(r#"{{"id": 1, "features": "{}"}}"#, features_b64(0, 256));
+        let resp = http_call(addr, "POST", "/verify", body.as_bytes()).unwrap();
+        assert!(resp.text().contains(r#""accepted":false"#), "{}", resp.text());
+        // Unknown claim.
+        let body = format!(r#"{{"id": 42, "features": "{}"}}"#, features_b64(0, 128));
+        assert_eq!(http_call(addr, "POST", "/verify", body.as_bytes()).unwrap().status, 404);
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        let cluster = test_cluster();
+        let server = serve(cluster, "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+
+        assert_eq!(http_call(addr, "POST", "/textures", b"not json").unwrap().status, 400);
+        assert_eq!(
+            http_call(addr, "POST", "/textures", br#"{"features": "AA=="}"#).unwrap().status,
+            400
+        ); // missing id
+        assert_eq!(
+            http_call(addr, "POST", "/textures", br#"{"id": 1, "features": "!!"}"#)
+                .unwrap()
+                .status,
+            400
+        ); // bad base64
+        assert_eq!(http_call(addr, "GET", "/nope", b"").unwrap().status, 404);
+        assert_eq!(http_call(addr, "PATCH", "/stats", b"").unwrap().status, 405);
+        assert_eq!(http_call(addr, "GET", "/textures/abc", b"").unwrap().status, 400);
+    }
+}

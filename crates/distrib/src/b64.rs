@@ -1,0 +1,128 @@
+//! Standard base64 (RFC 4648, with padding) for carrying binary feature
+//! payloads inside the JSON API.
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encode bytes to base64 with padding.
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let triple = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(triple >> 18) as usize & 63] as char);
+        out.push(ALPHABET[(triple >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(triple >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            ALPHABET[triple as usize & 63] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+/// Decoding failure (invalid character or bad length).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct B64Error;
+
+impl std::fmt::Display for B64Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid base64")
+    }
+}
+
+impl std::error::Error for B64Error {}
+
+fn decode_char(c: u8) -> Result<u32, B64Error> {
+    match c {
+        b'A'..=b'Z' => Ok((c - b'A') as u32),
+        b'a'..=b'z' => Ok((c - b'a') as u32 + 26),
+        b'0'..=b'9' => Ok((c - b'0') as u32 + 52),
+        b'+' => Ok(62),
+        b'/' => Ok(63),
+        _ => Err(B64Error),
+    }
+}
+
+/// Decode padded base64.
+pub fn decode(text: &str) -> Result<Vec<u8>, B64Error> {
+    let bytes = text.as_bytes();
+    if !bytes.len().is_multiple_of(4) {
+        return Err(B64Error);
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for chunk in bytes.chunks(4) {
+        let pad = chunk.iter().rev().take_while(|&&c| c == b'=').count();
+        if pad > 2 {
+            return Err(B64Error);
+        }
+        // '=' only allowed at the end of the input.
+        let is_last = chunk.as_ptr() as usize + 4 == bytes.as_ptr() as usize + bytes.len();
+        if pad > 0 && !is_last {
+            return Err(B64Error);
+        }
+        let mut triple = 0u32;
+        for (i, &c) in chunk.iter().enumerate() {
+            let v = if c == b'=' {
+                if i < 4 - pad {
+                    return Err(B64Error);
+                }
+                0
+            } else {
+                decode_char(c)?
+            };
+            triple = (triple << 6) | v;
+        }
+        out.push((triple >> 16) as u8);
+        if pad < 2 {
+            out.push((triple >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(triple as u8);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc_vectors() {
+        assert_eq!(encode(b""), "");
+        assert_eq!(encode(b"f"), "Zg==");
+        assert_eq!(encode(b"fo"), "Zm8=");
+        assert_eq!(encode(b"foo"), "Zm9v");
+        assert_eq!(encode(b"foob"), "Zm9vYg==");
+        assert_eq!(encode(b"fooba"), "Zm9vYmE=");
+        assert_eq!(encode(b"foobar"), "Zm9vYmFy");
+    }
+
+    #[test]
+    fn decode_vectors() {
+        assert_eq!(decode("").unwrap(), b"");
+        assert_eq!(decode("Zg==").unwrap(), b"f");
+        assert_eq!(decode("Zm9vYmFy").unwrap(), b"foobar");
+    }
+
+    #[test]
+    fn roundtrip_binary() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(decode("Zg=").is_err()); // bad length
+        assert!(decode("Z!==").is_err()); // bad character
+        assert!(decode("====").is_err()); // too much padding
+        assert!(decode("Zg==Zg==").is_err()); // padding mid-stream
+    }
+}

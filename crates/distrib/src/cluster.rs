@@ -1,0 +1,563 @@
+//! The 14-container distributed search cluster (§8, Fig. 6).
+//!
+//! Reference feature matrices are serialized (protobuf-style) into the
+//! Redis-substrate [`KvStore`] and allocated round-robin across GPU
+//! containers, each of which is one [`texid_core::Engine`] (a simulated
+//! Tesla P100 with a 76 GB hybrid cache: 12 GB usable device + 64 GB host).
+//! A search fans out to every container in parallel (scatter-gather); the
+//! simulated wall time is the slowest shard, and the aggregate speed is the
+//! paper's headline metric (872,984 image comparisons/s on 14 cards).
+//!
+//! Delete/update are implemented with tombstones: the engines' batched FIFO
+//! caches are append-only (like the paper's), so a deleted id is masked out
+//! of search results and its KV entry removed; re-adding re-indexes fresh
+//! features.
+
+use crate::kv::KvStore;
+use crate::wire;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use texid_cache::CacheError;
+use texid_core::{Engine, EngineConfig, SearchReport};
+use texid_gpu::{DeviceSpec, GpuSim};
+use texid_knn::geometry::{verify_matches, RansacParams};
+use texid_knn::{match_pair, ExecMode, FeatureBlock, MatchConfig};
+use texid_sift::FeatureMatrix;
+
+/// Cluster construction parameters.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// GPU containers (the paper runs 14).
+    pub containers: usize,
+    /// Per-container engine configuration.
+    pub engine: EngineConfig,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig { containers: 14, engine: EngineConfig::default() }
+    }
+}
+
+/// Cluster-level error.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClusterError {
+    /// A shard's cache is exhausted.
+    Cache(CacheError),
+    /// The texture id is unknown.
+    NotFound(u64),
+    /// Stored bytes failed to decode.
+    Corrupt(u64),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Cache(e) => write!(f, "cache error: {e}"),
+            ClusterError::NotFound(id) => write!(f, "texture {id} not found"),
+            ClusterError::Corrupt(id) => write!(f, "stored features for {id} corrupt"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// One search's cluster-level outcome.
+#[derive(Clone, Debug)]
+pub struct ClusterSearchResult {
+    /// Top results across all shards, best first (tombstones filtered).
+    pub results: Vec<(u64, usize)>,
+    /// Per-shard performance reports.
+    pub shard_reports: Vec<SearchReport>,
+    /// Simulated wall time = slowest shard, µs.
+    pub wall_us: f64,
+    /// Total reference comparisons performed.
+    pub comparisons: usize,
+}
+
+impl ClusterSearchResult {
+    /// Aggregate comparisons per second across the cluster.
+    pub fn images_per_second(&self) -> f64 {
+        if self.wall_us <= 0.0 {
+            return 0.0;
+        }
+        self.comparisons as f64 / self.wall_us * 1e6
+    }
+}
+
+/// Outcome of a one-to-one verification (the paper's second task: "is
+/// this photo the texture it claims to be?").
+#[derive(Clone, Debug)]
+pub struct VerifyReport {
+    /// Ratio-test survivors.
+    pub good_matches: usize,
+    /// RANSAC-consistent inliers.
+    pub geometric_inliers: usize,
+    /// Recovered similarity scale (≈ capture zoom).
+    pub transform_scale: f32,
+    /// Recovered rotation, radians.
+    pub transform_rotation: f32,
+    /// Final decision at the configured thresholds.
+    pub accepted: bool,
+}
+
+/// Point-in-time cluster statistics.
+#[derive(Clone, Debug)]
+pub struct ClusterStats {
+    /// Container count.
+    pub containers: usize,
+    /// Live (non-deleted) textures.
+    pub textures: usize,
+    /// Bytes held in the feature store.
+    pub store_bytes: u64,
+    /// Total feature-matrix capacity across all hybrid caches.
+    pub capacity_images: u64,
+}
+
+/// The distributed search system.
+pub struct Cluster {
+    cfg: ClusterConfig,
+    shards: Vec<Mutex<Engine>>,
+    store: KvStore,
+    shard_of: Mutex<HashMap<u64, usize>>,
+    /// External id -> live internal key. Engines index by *internal* keys
+    /// (one per add), so updating/deleting an id simply retires its key —
+    /// stale engine entries can never resurface under a reused id.
+    live_key: Mutex<HashMap<u64, u64>>,
+    /// Internal key -> external id (for translating search results).
+    external_of: Mutex<HashMap<u64, u64>>,
+    next_key: Mutex<u64>,
+    next_rr: Mutex<usize>,
+}
+
+impl Cluster {
+    /// Bring up `cfg.containers` engines.
+    pub fn new(cfg: ClusterConfig) -> Cluster {
+        assert!(cfg.containers >= 1, "need at least one container");
+        let shards = (0..cfg.containers)
+            .map(|_| Mutex::new(Engine::new(cfg.engine.clone())))
+            .collect();
+        Cluster {
+            cfg,
+            shards,
+            store: KvStore::new(),
+            shard_of: Mutex::new(HashMap::new()),
+            live_key: Mutex::new(HashMap::new()),
+            external_of: Mutex::new(HashMap::new()),
+            next_key: Mutex::new(0),
+            next_rr: Mutex::new(0),
+        }
+    }
+
+    /// Configuration in force.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// The feature store (exposed for persistence-style tests).
+    pub fn store(&self) -> &KvStore {
+        &self.store
+    }
+
+    fn key(id: u64) -> String {
+        format!("tex:{id:020}")
+    }
+
+    /// Add (or re-add) a texture's reference features.
+    ///
+    /// # Errors
+    /// Propagates shard cache exhaustion.
+    pub fn add_texture(&self, id: u64, features: &FeatureMatrix) -> Result<(), ClusterError> {
+        // Persist first (the paper's Redis holds the authoritative copy).
+        self.store.set(&Self::key(id), wire::encode_features(features));
+        // Allocate round-robin and index under a fresh internal key.
+        let shard = {
+            let mut rr = self.next_rr.lock();
+            let s = *rr % self.shards.len();
+            *rr += 1;
+            s
+        };
+        let key = {
+            let mut nk = self.next_key.lock();
+            let k = *nk;
+            *nk += 1;
+            k
+        };
+        self.shards[shard]
+            .lock()
+            .add_reference(key, features)
+            .map_err(ClusterError::Cache)?;
+        self.shard_of.lock().insert(id, shard);
+        self.live_key.lock().insert(id, key);
+        self.external_of.lock().insert(key, id);
+        Ok(())
+    }
+
+    /// Delete a texture: removes the stored features and masks the id out
+    /// of future searches.
+    ///
+    /// # Errors
+    /// `NotFound` if the id is unknown.
+    pub fn delete_texture(&self, id: u64) -> Result<(), ClusterError> {
+        if !self.store.del(&Self::key(id)) {
+            return Err(ClusterError::NotFound(id));
+        }
+        // Retiring the live key masks every engine entry made for this id.
+        self.live_key.lock().remove(&id);
+        Ok(())
+    }
+
+    /// Update = delete + re-add with new features.
+    ///
+    /// # Errors
+    /// `NotFound` if the id was never added; cache errors from re-adding.
+    pub fn update_texture(&self, id: u64, features: &FeatureMatrix) -> Result<(), ClusterError> {
+        if !self.store.exists(&Self::key(id)) {
+            return Err(ClusterError::NotFound(id));
+        }
+        self.delete_texture(id)?;
+        self.add_texture(id, features)
+    }
+
+    /// Fetch the stored features for a texture.
+    ///
+    /// # Errors
+    /// `NotFound` / `Corrupt`.
+    pub fn get_texture(&self, id: u64) -> Result<FeatureMatrix, ClusterError> {
+        let bytes = self.store.get(&Self::key(id)).ok_or(ClusterError::NotFound(id))?;
+        wire::decode_features(&bytes).map_err(|_| ClusterError::Corrupt(id))
+    }
+
+    /// Number of live textures.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// True when no textures are stored.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// One-to-one verification: match `query` against the *claimed*
+    /// texture only, with ratio test + RANSAC geometric verification
+    /// (Fig. 2's full pipeline). `min_matches` and `min_inliers` are the
+    /// §3.1 decision thresholds.
+    ///
+    /// # Errors
+    /// `NotFound` if the claimed id is unknown; `Corrupt` on bad storage.
+    pub fn verify(
+        &self,
+        claimed_id: u64,
+        query: &FeatureMatrix,
+        min_matches: usize,
+        min_inliers: usize,
+    ) -> Result<VerifyReport, ClusterError> {
+        let reference = self.get_texture(claimed_id)?;
+        let matching = MatchConfig {
+            precision: self.cfg.engine.matching.precision,
+            scale: self.cfg.engine.matching.scale,
+            exec: ExecMode::Full,
+            ..self.cfg.engine.matching
+        };
+        let rb = FeatureBlock::from_mat(reference.mat.clone(), matching.precision, matching.scale);
+        let qb = FeatureBlock::from_mat(query.mat.clone(), matching.precision, matching.scale);
+        let mut sim = GpuSim::new(DeviceSpec::tesla_p100());
+        let st = sim.default_stream();
+        let outcome = match_pair(&matching, &rb, &qb, &mut sim, st);
+        let geo = verify_matches(
+            &outcome.matches,
+            &reference.keypoints,
+            &query.keypoints,
+            &RansacParams::default(),
+        );
+        Ok(VerifyReport {
+            good_matches: outcome.score(),
+            geometric_inliers: geo.inlier_count(),
+            transform_scale: geo.transform.scale(),
+            transform_rotation: geo.transform.rotation(),
+            accepted: outcome.score() >= min_matches && geo.inlier_count() >= min_inliers,
+        })
+    }
+
+    /// Scatter-gather search across all shards.
+    pub fn search(&self, query: &FeatureMatrix, top_k: usize) -> ClusterSearchResult {
+        let live_key = self.live_key.lock().clone();
+        let external_of = self.external_of.lock().clone();
+        let mut shard_outputs: Vec<(Vec<(u64, usize)>, SearchReport)> =
+            Vec::with_capacity(self.shards.len());
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .map(|shard| {
+                    scope.spawn(move || {
+                        let mut engine = shard.lock();
+                        // Seal any pending partial batch so it is searchable.
+                        engine.flush().expect("flush during search");
+                        let r = engine.search(query);
+                        (r.ranked, r.report)
+                    })
+                })
+                .collect();
+            for h in handles {
+                shard_outputs.push(h.join().expect("shard thread panicked"));
+            }
+        });
+
+        // Translate internal keys to external ids, dropping retired keys.
+        let mut results: Vec<(u64, usize)> = shard_outputs
+            .iter()
+            .flat_map(|(ranked, _)| ranked.iter().copied())
+            .filter_map(|(key, score)| {
+                let id = *external_of.get(&key)?;
+                (live_key.get(&id) == Some(&key)).then_some((id, score))
+            })
+            .collect();
+        results.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        results.truncate(top_k);
+
+        let shard_reports: Vec<SearchReport> =
+            shard_outputs.iter().map(|(_, rep)| *rep).collect();
+        let wall_us = shard_reports.iter().map(|r| r.total_us).fold(0.0f64, f64::max);
+        let comparisons = shard_reports.iter().map(|r| r.images).sum();
+        ClusterSearchResult { results, shard_reports, wall_us, comparisons }
+    }
+
+    /// Rebuild one container's engine from the feature store — the reason
+    /// the paper keeps serialized feature matrices in Redis: a GPU
+    /// container that restarts (re)loads its shard without touching the
+    /// original images.
+    ///
+    /// # Errors
+    /// `Corrupt` if a stored payload fails to decode; cache errors from
+    /// re-indexing.
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range.
+    pub fn recover_container(&self, shard: usize) -> Result<usize, ClusterError> {
+        assert!(shard < self.shards.len(), "no such container");
+        // Collect this shard's live textures from the metadata.
+        let members: Vec<(u64, u64)> = {
+            let shard_of = self.shard_of.lock();
+            let live = self.live_key.lock();
+            live.iter()
+                .filter(|(id, _)| shard_of.get(id) == Some(&shard))
+                .map(|(id, key)| (*id, *key))
+                .collect()
+        };
+        // Fresh engine; reload from the store under the same internal keys.
+        let mut engine = Engine::new(self.cfg.engine.clone());
+        let mut restored = 0usize;
+        for (id, key) in &members {
+            let bytes = self.store.get(&Self::key(*id)).ok_or(ClusterError::NotFound(*id))?;
+            let features =
+                wire::decode_features(&bytes).map_err(|_| ClusterError::Corrupt(*id))?;
+            engine.add_reference(*key, &features).map_err(ClusterError::Cache)?;
+            restored += 1;
+        }
+        engine.flush().map_err(ClusterError::Cache)?;
+        *self.shards[shard].lock() = engine;
+        Ok(restored)
+    }
+
+    /// Cluster statistics (the REST `/stats` payload).
+    pub fn stats(&self) -> ClusterStats {
+        let per_ref = texid_core::capacity::bytes_per_reference(
+            self.cfg.engine.m_ref,
+            128,
+            self.cfg.engine.matching.precision,
+            false,
+        );
+        let per_container = texid_core::capacity::hybrid_capacity(
+            &self.cfg.engine.device,
+            self.cfg.engine.cache.device_reserve_bytes,
+            self.cfg.engine.cache.host_capacity_bytes,
+            per_ref,
+        );
+        ClusterStats {
+            containers: self.shards.len(),
+            textures: self.store.len(),
+            store_bytes: self.store.used_bytes(),
+            capacity_images: per_container * self.shards.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use texid_image::{CaptureCondition, TextureGenerator};
+    use texid_sift::{extract, SiftConfig};
+
+    fn small_cluster(containers: usize) -> Cluster {
+        Cluster::new(ClusterConfig {
+            containers,
+            engine: EngineConfig {
+                m_ref: 128,
+                n_query: 256,
+                batch_size: 2,
+                streams: 1,
+                ..EngineConfig::default()
+            },
+        })
+    }
+
+    fn features(seed: u64, n: usize) -> FeatureMatrix {
+        let im = TextureGenerator::with_size(128).generate(seed);
+        extract(&im, &SiftConfig { max_features: n, ..SiftConfig::default() })
+    }
+
+    fn query_for(seed: u64) -> FeatureMatrix {
+        let im = TextureGenerator::with_size(128).generate(seed);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed ^ 0xabc);
+        let q = CaptureCondition::mild(&mut rng).apply(&im, seed);
+        extract(&q, &SiftConfig { max_features: 256, ..SiftConfig::default() })
+    }
+
+    #[test]
+    fn distributed_identification_end_to_end() {
+        let cluster = small_cluster(3);
+        for id in 0..6u64 {
+            cluster.add_texture(id, &features(id, 128)).unwrap();
+        }
+        let out = cluster.search(&query_for(4), 3);
+        assert_eq!(out.results[0].0, 4, "{:?}", out.results);
+        assert_eq!(out.comparisons, 6);
+        assert_eq!(out.shard_reports.len(), 3);
+        assert!(out.images_per_second() > 0.0);
+    }
+
+    #[test]
+    fn shards_balanced_round_robin() {
+        let cluster = small_cluster(4);
+        for id in 0..8u64 {
+            cluster.add_texture(id, &features(id, 64)).unwrap();
+        }
+        let shard_of = cluster.shard_of.lock();
+        for s in 0..4 {
+            let count = shard_of.values().filter(|&&v| v == s).count();
+            assert_eq!(count, 2, "shard {s} holds {count}");
+        }
+    }
+
+    #[test]
+    fn delete_masks_results() {
+        let cluster = small_cluster(2);
+        for id in 0..4u64 {
+            cluster.add_texture(id, &features(id, 128)).unwrap();
+        }
+        cluster.delete_texture(2).unwrap();
+        let out = cluster.search(&query_for(2), 4);
+        assert!(out.results.iter().all(|(id, _)| *id != 2), "{:?}", out.results);
+        assert_eq!(cluster.len(), 3);
+        assert_eq!(cluster.delete_texture(2), Err(ClusterError::NotFound(2)));
+    }
+
+    #[test]
+    fn update_restores_searchability() {
+        let cluster = small_cluster(2);
+        for id in 0..4u64 {
+            cluster.add_texture(id, &features(id, 128)).unwrap();
+        }
+        cluster.update_texture(1, &features(1, 128)).unwrap();
+        let out = cluster.search(&query_for(1), 2);
+        assert_eq!(out.results[0].0, 1);
+        assert_eq!(cluster.update_texture(99, &features(0, 64)), Err(ClusterError::NotFound(99)));
+    }
+
+    #[test]
+    fn stored_features_roundtrip() {
+        let cluster = small_cluster(1);
+        let f = features(7, 100);
+        cluster.add_texture(7, &f).unwrap();
+        let back = cluster.get_texture(7).unwrap();
+        assert_eq!(back.mat, f.mat);
+        assert!(cluster.get_texture(8).is_err());
+    }
+
+    #[test]
+    fn wall_time_is_max_not_sum() {
+        let cluster = small_cluster(4);
+        for id in 0..8u64 {
+            cluster.add_texture(id, &features(id, 64)).unwrap();
+        }
+        let out = cluster.search(&query_for(0), 1);
+        let max = out
+            .shard_reports
+            .iter()
+            .map(|r| r.total_us)
+            .fold(0.0f64, f64::max);
+        let sum: f64 = out.shard_reports.iter().map(|r| r.total_us).sum();
+        assert_eq!(out.wall_us, max);
+        assert!(out.wall_us < sum);
+    }
+
+    #[test]
+    fn container_recovery_from_store() {
+        // Kill a container (replace its engine with an empty one), recover
+        // it from the feature store, and verify search results are intact.
+        let cluster = small_cluster(3);
+        for id in 0..9u64 {
+            cluster.add_texture(id, &features(id, 128)).unwrap();
+        }
+        cluster.delete_texture(4).unwrap();
+        let before = cluster.search(&query_for(6), 3);
+
+        // Simulate a container crash: wipe shard 0.
+        *cluster.shards[0].lock() = Engine::new(cluster.cfg.engine.clone());
+        let degraded = cluster.search(&query_for(6), 3);
+
+        let restored = cluster.recover_container(0).unwrap();
+        assert!(restored > 0, "shard 0 held nothing?");
+        let after = cluster.search(&query_for(6), 3);
+
+        assert_eq!(before.results, after.results, "recovery changed results");
+        // The degraded cluster lost shard 0's references.
+        assert!(degraded.comparisons < before.comparisons);
+        assert_eq!(after.comparisons, before.comparisons);
+    }
+
+    #[test]
+    fn recovery_skips_deleted_textures() {
+        let cluster = small_cluster(1);
+        for id in 0..4u64 {
+            cluster.add_texture(id, &features(id, 128)).unwrap();
+        }
+        cluster.delete_texture(1).unwrap();
+        let restored = cluster.recover_container(0).unwrap();
+        assert_eq!(restored, 3);
+        let out = cluster.search(&query_for(1), 4);
+        assert!(out.results.iter().all(|(id, _)| *id != 1));
+    }
+
+    #[test]
+    fn verification_accepts_genuine_rejects_impostor() {
+        let cluster = small_cluster(2);
+        for id in 0..4u64 {
+            cluster.add_texture(id, &features(id, 128)).unwrap();
+        }
+        let q = query_for(2);
+        let genuine = cluster.verify(2, &q, 10, 8).unwrap();
+        assert!(genuine.accepted, "{genuine:?}");
+        assert!(genuine.good_matches >= 10);
+        assert!((genuine.transform_scale - 1.0).abs() < 0.2);
+
+        let impostor = cluster.verify(3, &q, 10, 8).unwrap();
+        assert!(!impostor.accepted, "{impostor:?}");
+
+        assert!(matches!(cluster.verify(99, &q, 10, 8), Err(ClusterError::NotFound(99))));
+    }
+
+    #[test]
+    fn stats_reflect_configuration() {
+        let cluster = small_cluster(2);
+        cluster.add_texture(0, &features(0, 64)).unwrap();
+        let s = cluster.stats();
+        assert_eq!(s.containers, 2);
+        assert_eq!(s.textures, 1);
+        assert!(s.store_bytes > 0);
+        assert!(s.capacity_images > 1_000_000, "capacity {}", s.capacity_images);
+    }
+}

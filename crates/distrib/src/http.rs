@@ -1,0 +1,330 @@
+//! Minimal HTTP/1.1 server and client over `std::net`.
+//!
+//! Just enough protocol for the REST API containers of Fig. 6: request-line
+//! + headers + `Content-Length` bodies, `Connection: close` semantics, one
+//! thread per connection. No TLS, chunking, or keep-alive — deliberately
+//! small, fully tested.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A parsed HTTP request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Method verb (uppercase).
+    pub method: String,
+    /// Path including leading slash (query strings are kept verbatim).
+    pub path: String,
+    /// Lower-cased header name/value pairs.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let lower = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == lower)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// An HTTP response.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Content type (defaults to JSON).
+    pub content_type: String,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Response {
+        Response { status, content_type: "application/json".to_string(), body: body.into_bytes() }
+    }
+
+    /// Body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+fn status_text(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Read one request from a stream. Returns `None` on immediate EOF.
+pub fn read_request(stream: &mut impl Read) -> std::io::Result<Option<Request>> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let bad = || std::io::Error::new(std::io::ErrorKind::InvalidData, "bad request line");
+    let method = parts.next().ok_or_else(bad)?.to_uppercase();
+    let path = parts.next().ok_or_else(bad)?.to_string();
+
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut h = String::new();
+        if reader.read_line(&mut h)? == 0 {
+            break;
+        }
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = h.split_once(':') {
+            let k = k.trim().to_ascii_lowercase();
+            let v = v.trim().to_string();
+            if k == "content-length" {
+                content_length = v.parse().unwrap_or(0);
+            }
+            headers.push((k, v));
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Some(Request { method, path, headers, body }))
+}
+
+/// Write a response with `Connection: close`.
+pub fn write_response(stream: &mut impl Write, resp: &Response) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        resp.status,
+        status_text(resp.status),
+        resp.content_type,
+        resp.body.len()
+    )?;
+    stream.write_all(&resp.body)
+}
+
+/// A running HTTP server; dropped or `stop()`ed, it shuts down.
+pub struct HttpServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Bind `addr` (use port 0 for an ephemeral port) and serve `handler`
+    /// on a background accept loop, one thread per connection.
+    pub fn spawn(
+        addr: &str,
+        handler: Arc<dyn Fn(&Request) -> Response + Send + Sync>,
+    ) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = shutdown.clone();
+        let handle = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(mut stream) = conn else { continue };
+                let handler = handler.clone();
+                std::thread::spawn(move || {
+                    let req = match read_request(&mut stream) {
+                        Ok(Some(r)) => r,
+                        _ => return,
+                    };
+                    let resp = handler(&req);
+                    let _ = write_response(&mut stream, &resp);
+                    let _ = stream.flush();
+                });
+            }
+        });
+        Ok(HttpServer { addr: local, shutdown, handle: Some(handle) })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the accept loop.
+    pub fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Blocking HTTP client call (`Connection: close`).
+pub fn http_call(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> std::io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
+
+    let mut content_type = String::new();
+    let mut content_length = None;
+    loop {
+        let mut h = String::new();
+        if reader.read_line(&mut h)? == 0 {
+            break;
+        }
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = h.split_once(':') {
+            let k = k.trim().to_ascii_lowercase();
+            if k == "content-type" {
+                content_type = v.trim().to_string();
+            } else if k == "content-length" {
+                content_length = v.trim().parse::<usize>().ok();
+            }
+        }
+    }
+    let body = match content_length {
+        Some(len) => {
+            let mut b = vec![0u8; len];
+            reader.read_exact(&mut b)?;
+            b
+        }
+        None => {
+            let mut b = Vec::new();
+            reader.read_to_end(&mut b)?;
+            b
+        }
+    };
+    Ok(Response { status, content_type, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_server() -> HttpServer {
+        HttpServer::spawn(
+            "127.0.0.1:0",
+            Arc::new(|req: &Request| {
+                Response::json(
+                    200,
+                    format!(
+                        r#"{{"method":"{}","path":"{}","len":{}}}"#,
+                        req.method,
+                        req.path,
+                        req.body.len()
+                    ),
+                )
+            }),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_get() {
+        let server = echo_server();
+        let resp = http_call(server.addr(), "GET", "/hello", b"").unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.content_type, "application/json");
+        assert!(resp.text().contains(r#""method":"GET""#));
+        assert!(resp.text().contains(r#""path":"/hello""#));
+    }
+
+    #[test]
+    fn roundtrip_post_with_body() {
+        let server = echo_server();
+        let body = vec![0x41u8; 10_000];
+        let resp = http_call(server.addr(), "POST", "/data", &body).unwrap();
+        assert!(resp.text().contains(r#""len":10000"#));
+    }
+
+    #[test]
+    fn concurrent_requests() {
+        let server = echo_server();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let resp =
+                        http_call(addr, "POST", &format!("/r{i}"), format!("{i}").as_bytes())
+                            .unwrap();
+                    assert_eq!(resp.status, 200);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn stop_terminates_accept_loop() {
+        let mut server = echo_server();
+        let addr = server.addr();
+        server.stop();
+        // After stop, new connections either fail or get no response.
+        let result = http_call(addr, "GET", "/", b"");
+        if let Ok(resp) = result {
+            assert_ne!(resp.status, 200);
+        }
+    }
+
+    #[test]
+    fn request_parsing_headers() {
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 3\r\nX-Custom: hi\r\n\r\nabc";
+        let req = read_request(&mut &raw[..]).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/x");
+        assert_eq!(req.header("x-custom"), Some("hi"));
+        assert_eq!(req.header("X-CUSTOM"), Some("hi"));
+        assert_eq!(req.body, b"abc");
+    }
+
+    #[test]
+    fn eof_yields_none() {
+        let raw: &[u8] = b"";
+        assert!(read_request(&mut &raw[..]).unwrap().is_none());
+    }
+}

@@ -1,0 +1,124 @@
+//! Redis substrate: a thread-safe in-memory key/value store.
+//!
+//! The paper's deployment keeps serialized reference feature matrices in a
+//! Redis container so GPU containers can (re)load their shard on startup.
+//! This is the minimal equivalent: binary values, prefix scans, and the
+//! handful of statistics a health endpoint wants.
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+/// A thread-safe in-memory KV store (Redis stand-in).
+#[derive(Default)]
+pub struct KvStore {
+    map: RwLock<BTreeMap<String, Vec<u8>>>,
+}
+
+impl KvStore {
+    /// Create an empty store.
+    pub fn new() -> KvStore {
+        KvStore::default()
+    }
+
+    /// Set `key` to `value`, returning the previous value if any.
+    pub fn set(&self, key: &str, value: Vec<u8>) -> Option<Vec<u8>> {
+        self.map.write().insert(key.to_string(), value)
+    }
+
+    /// Fetch a copy of the value at `key`.
+    pub fn get(&self, key: &str) -> Option<Vec<u8>> {
+        self.map.read().get(key).cloned()
+    }
+
+    /// Delete `key`, returning whether it existed.
+    pub fn del(&self, key: &str) -> bool {
+        self.map.write().remove(key).is_some()
+    }
+
+    /// True if `key` exists.
+    pub fn exists(&self, key: &str) -> bool {
+        self.map.read().contains_key(key)
+    }
+
+    /// All keys starting with `prefix`, in lexicographic order.
+    pub fn keys_with_prefix(&self, prefix: &str) -> Vec<String> {
+        self.map
+            .read()
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+
+    /// Total payload bytes stored.
+    pub fn used_bytes(&self) -> u64 {
+        self.map.read().values().map(|v| v.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn set_get_del_cycle() {
+        let kv = KvStore::new();
+        assert!(kv.set("a", vec![1, 2, 3]).is_none());
+        assert_eq!(kv.get("a"), Some(vec![1, 2, 3]));
+        assert_eq!(kv.set("a", vec![9]), Some(vec![1, 2, 3]));
+        assert!(kv.del("a"));
+        assert!(!kv.del("a"));
+        assert_eq!(kv.get("a"), None);
+    }
+
+    #[test]
+    fn prefix_scan_is_ordered_and_bounded() {
+        let kv = KvStore::new();
+        for k in ["tex:1", "tex:2", "tex:10", "meta:x", "texture"] {
+            kv.set(k, vec![]);
+        }
+        assert_eq!(kv.keys_with_prefix("tex:"), vec!["tex:1", "tex:10", "tex:2"]);
+        assert_eq!(kv.keys_with_prefix("zzz"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn accounting() {
+        let kv = KvStore::new();
+        kv.set("a", vec![0; 100]);
+        kv.set("b", vec![0; 50]);
+        assert_eq!(kv.len(), 2);
+        assert_eq!(kv.used_bytes(), 150);
+        kv.del("a");
+        assert_eq!(kv.used_bytes(), 50);
+    }
+
+    #[test]
+    fn concurrent_writers_do_not_lose_updates() {
+        let kv = Arc::new(KvStore::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let kv = kv.clone();
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        kv.set(&format!("k:{t}:{i}"), vec![t as u8]);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(kv.len(), 800);
+    }
+}

@@ -1,0 +1,26 @@
+//! # texid-distrib
+//!
+//! The paper's §8 distributed texture search system, reproduced in-process:
+//!
+//! * **Cluster** ([`cluster`]): 14 GPU containers (one simulated Tesla P100
+//!   each, 64 GB host cache, 4 GB device reserve), references sharded
+//!   round-robin, queries scatter-gathered across all shards in parallel.
+//! * **Feature store** ([`kv`]): the Redis stand-in — an in-memory,
+//!   thread-safe KV service holding serialized reference feature matrices.
+//! * **Wire format** ([`wire`]): protobuf-style varint/length-delimited
+//!   serialization of feature matrices (the paper serializes with Google
+//!   protobuf).
+//! * **REST API** ([`http`], [`api`], [`json`], [`b64`]): a minimal
+//!   HTTP/1.1 + JSON stack over `std::net` exposing add / delete / update /
+//!   search / stats, like the paper's web-service containers.
+
+pub mod api;
+pub mod b64;
+pub mod cluster;
+pub mod http;
+pub mod json;
+pub mod kv;
+pub mod wire;
+
+pub use cluster::{Cluster, ClusterConfig, ClusterStats};
+pub use kv::KvStore;

@@ -1,0 +1,116 @@
+//! Property-based tests for the serialization substrates (wire, JSON, b64).
+
+use proptest::prelude::*;
+use texid_distrib::b64;
+use texid_distrib::json::{parse, Json};
+use texid_distrib::wire::{decode_features, encode_features, get_varint, put_varint};
+use texid_linalg::Mat;
+use texid_sift::{FeatureMatrix, Keypoint};
+
+fn arb_keypoint() -> impl Strategy<Value = Keypoint> {
+    (
+        -1e4f32..1e4,
+        -1e4f32..1e4,
+        0.1f32..100.0,
+        -3.15f32..3.15,
+        0.0f32..10.0,
+        0usize..8,
+        (-0.5f32..4.5, 0.0f32..512.0, 0.0f32..512.0),
+    )
+        .prop_map(|(x, y, sigma, orientation, response, octave, (interval, ox, oy))| Keypoint {
+            x,
+            y,
+            sigma,
+            orientation,
+            response,
+            octave,
+            interval,
+            oct_x: ox,
+            oct_y: oy,
+        })
+}
+
+fn arb_features() -> impl Strategy<Value = FeatureMatrix> {
+    (1usize..16, 0usize..12).prop_flat_map(|(dim, count)| {
+        (
+            prop::collection::vec(-100.0f32..100.0, dim * count),
+            prop::collection::vec(arb_keypoint(), count),
+            any::<bool>(),
+        )
+            .prop_map(move |(data, keypoints, rootsift)| FeatureMatrix {
+                keypoints,
+                mat: Mat::from_col_major(dim, count, data),
+                rootsift,
+            })
+    })
+}
+
+/// Recursive JSON value strategy (depth-limited).
+fn arb_json() -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        // Finite, roundtrippable numbers.
+        (-1e9f64..1e9).prop_map(|v| Json::Num((v * 100.0).round() / 100.0)),
+        "[a-zA-Z0-9 _\\-\\\\\"\n\t]{0,12}".prop_map(Json::Str),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Json::Arr),
+            prop::collection::btree_map("[a-z]{1,6}", inner, 0..4).prop_map(Json::Obj),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn wire_features_roundtrip(fm in arb_features()) {
+        let bytes = encode_features(&fm);
+        let back = decode_features(&bytes).expect("decode");
+        prop_assert_eq!(back.mat, fm.mat);
+        prop_assert_eq!(back.keypoints, fm.keypoints);
+        prop_assert_eq!(back.rootsift, fm.rootsift);
+    }
+
+    #[test]
+    fn wire_decode_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_features(&bytes); // must return Err, not panic
+    }
+
+    #[test]
+    fn varint_roundtrip(values in prop::collection::vec(any::<u64>(), 0..32)) {
+        let mut buf = Vec::new();
+        for &v in &values {
+            put_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            prop_assert_eq!(get_varint(&buf, &mut pos).expect("varint"), v);
+        }
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn json_roundtrip(v in arb_json()) {
+        let text = v.to_string();
+        let back = parse(&text).expect("parse own output");
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn json_parse_never_panics(text in "\\PC{0,64}") {
+        let _ = parse(&text); // must return Err, not panic
+    }
+
+    #[test]
+    fn b64_roundtrip(data in prop::collection::vec(any::<u8>(), 0..512)) {
+        let enc = b64::encode(&data);
+        prop_assert!(enc.len().is_multiple_of(4));
+        prop_assert_eq!(b64::decode(&enc).expect("decode"), data);
+    }
+
+    #[test]
+    fn b64_decode_never_panics(text in "\\PC{0,64}") {
+        let _ = b64::decode(&text);
+    }
+}

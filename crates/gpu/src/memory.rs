@@ -1,0 +1,186 @@
+//! Device-memory accounting.
+//!
+//! The simulator does not store payloads (functional data lives host-side in
+//! the matching engines); it enforces the *budget*: a 16 GB card minus the
+//! CUDA context overhead, with allocation/free bookkeeping so the hybrid
+//! cache and the per-stream workspace costs (Table 6's "extra GPU memory"
+//! column) are charged against real capacity.
+
+use std::collections::HashMap;
+
+/// Opaque handle to a simulated device allocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BufferId(pub(crate) u64);
+
+/// Allocation failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MemError {
+    /// Not enough free device memory; carries (requested, free).
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes currently free.
+        free: u64,
+    },
+}
+
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemError::OutOfMemory { requested, free } => {
+                write!(f, "device OOM: requested {requested} B, {free} B free")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// Tracks allocations against a fixed capacity.
+#[derive(Debug)]
+pub struct MemTracker {
+    capacity: u64,
+    used: u64,
+    next_id: u64,
+    live: HashMap<BufferId, u64>,
+    peak: u64,
+}
+
+impl MemTracker {
+    /// Create a tracker with `capacity` bytes, `reserved` of which are
+    /// charged immediately (context overhead).
+    pub fn new(capacity: u64, reserved: u64) -> MemTracker {
+        assert!(reserved <= capacity, "context overhead exceeds capacity");
+        MemTracker {
+            capacity,
+            used: reserved,
+            next_id: 0,
+            live: HashMap::new(),
+            peak: reserved,
+        }
+    }
+
+    /// Allocate `bytes`, failing when the budget is exhausted.
+    pub fn alloc(&mut self, bytes: u64) -> Result<BufferId, MemError> {
+        let free = self.capacity - self.used;
+        if bytes > free {
+            return Err(MemError::OutOfMemory { requested: bytes, free });
+        }
+        let id = BufferId(self.next_id);
+        self.next_id += 1;
+        self.used += bytes;
+        self.peak = self.peak.max(self.used);
+        self.live.insert(id, bytes);
+        Ok(id)
+    }
+
+    /// Free a live allocation; returns its size.
+    ///
+    /// # Panics
+    /// Panics on double-free / unknown id (programming error in the engine).
+    pub fn free(&mut self, id: BufferId) -> u64 {
+        let bytes = self.live.remove(&id).expect("free of unknown or freed buffer");
+        self.used -= bytes;
+        bytes
+    }
+
+    /// Size of a live allocation, if any.
+    pub fn size_of(&self, id: BufferId) -> Option<u64> {
+        self.live.get(&id).copied()
+    }
+
+    /// Bytes currently allocated (including the reserved overhead).
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Bytes still available.
+    pub fn free_bytes(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// High-water mark.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Number of live allocations.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_cycle() {
+        let mut m = MemTracker::new(1000, 100);
+        assert_eq!(m.used(), 100);
+        let a = m.alloc(300).unwrap();
+        let b = m.alloc(400).unwrap();
+        assert_eq!(m.used(), 800);
+        assert_eq!(m.free_bytes(), 200);
+        assert_eq!(m.free(a), 300);
+        assert_eq!(m.used(), 500);
+        assert_eq!(m.size_of(b), Some(400));
+        assert_eq!(m.size_of(a), None);
+        assert_eq!(m.live_count(), 1);
+    }
+
+    #[test]
+    fn oom_reports_numbers() {
+        let mut m = MemTracker::new(1000, 0);
+        let _ = m.alloc(900).unwrap();
+        match m.alloc(200) {
+            Err(MemError::OutOfMemory { requested, free }) => {
+                assert_eq!(requested, 200);
+                assert_eq!(free, 100);
+            }
+            other => panic!("expected OOM, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oom_does_not_corrupt_state() {
+        let mut m = MemTracker::new(100, 0);
+        let _ = m.alloc(60).unwrap();
+        assert!(m.alloc(50).is_err());
+        assert_eq!(m.used(), 60);
+        let _ = m.alloc(40).unwrap();
+        assert_eq!(m.free_bytes(), 0);
+    }
+
+    #[test]
+    fn peak_tracks_high_water() {
+        let mut m = MemTracker::new(1000, 0);
+        let a = m.alloc(700).unwrap();
+        m.free(a);
+        let _ = m.alloc(100).unwrap();
+        assert_eq!(m.peak(), 700);
+        assert_eq!(m.used(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown or freed")]
+    fn double_free_panics() {
+        let mut m = MemTracker::new(100, 0);
+        let a = m.alloc(10).unwrap();
+        m.free(a);
+        m.free(a);
+    }
+
+    #[test]
+    fn exact_fit_succeeds() {
+        let mut m = MemTracker::new(100, 20);
+        assert!(m.alloc(80).is_ok());
+        assert_eq!(m.free_bytes(), 0);
+        assert!(m.alloc(1).is_err());
+    }
+}

@@ -1,0 +1,168 @@
+//! Multi-stream throughput scaling (the paper's §6.2, Table 6).
+//!
+//! With all reference feature matrices resident in *host* memory, every
+//! batch must cross PCIe before compute. One CPU thread drives each CUDA
+//! stream synchronously (H2D → kernels → D2H → post), so a single stream
+//! fully serializes the pipeline. Adding streams overlaps the phases — but
+//! the paper's measurements show scaling far below the engine-level ideal
+//! (52.5% → 87.3% schedule efficiency for 1 → 8 streams), because a
+//! sizeable fraction of each chunk's wall time is serialized in the driver
+//! (pinned-buffer locks, synchronous stream waits).
+//!
+//! We model that with a calibrated serial fraction φ
+//! ([`crate::spec::CostCalib::stream_serial_fraction`]): the per-image time
+//! at `s` streams is `t(s) = t₁ · (φ + (1 − φ)/s)` (Amdahl), with `t₁` the
+//! fully serialized single-stream time produced by the engine-level cost
+//! model. The same module derives Table 6's "extra GPU memory" column from
+//! the actual per-stream workspace (the distance matrix A plus the staging
+//! buffer), which is mechanistic, not calibrated.
+
+use crate::spec::{DeviceSpec, Precision};
+
+/// Amdahl scaling factor: time multiplier at `streams` relative to one.
+pub fn stream_time_factor(spec: &DeviceSpec, streams: usize) -> f64 {
+    assert!(streams >= 1, "need at least one stream");
+    let phi = spec.calib.stream_serial_fraction;
+    phi + (1.0 - phi) / streams as f64
+}
+
+/// Throughput (images/s) at `streams` streams, given the single-stream
+/// per-image time `t1_us`.
+pub fn stream_throughput(spec: &DeviceSpec, t1_us: f64, streams: usize) -> f64 {
+    1e6 / (t1_us * stream_time_factor(spec, streams))
+}
+
+/// The paper's Eq. 4: achieved speed over the PCIe-bound theoretical speed.
+pub fn schedule_efficiency(achieved_img_s: f64, theoretical_img_s: f64) -> f64 {
+    achieved_img_s / theoretical_img_s
+}
+
+/// PCIe-bound theoretical speed (images/s): every image's reference matrix
+/// must cross the link once.
+pub fn pcie_bound_speed(spec: &DeviceSpec, bytes_per_image: u64, pinned: bool) -> f64 {
+    let bw = if pinned {
+        spec.calib.h2d_pinned_gbps
+    } else {
+        spec.calib.h2d_pageable_gbps
+    } * 1e9;
+    bw / bytes_per_image as f64
+}
+
+/// Per-stream device workspace for the batched Algorithm 2 pipeline:
+/// the distance matrix `A` ((batch·m) × n) plus a staging buffer for the
+/// incoming reference batch ((batch·m) × d). Matches Table 6's "extra GPU
+/// memory" increments (~0.68 GB/stream at batch 512, ~0.33 GB at 256).
+pub fn per_stream_workspace_bytes(
+    batch: usize,
+    m: usize,
+    n: usize,
+    d: usize,
+    precision: Precision,
+) -> u64 {
+    let eb = precision.bytes() as u64;
+    let a_matrix = (batch * m * n) as u64 * eb;
+    let staging = (batch * m * d) as u64 * eb;
+    a_matrix + staging
+}
+
+/// Fixed (stream-count independent) workspace: result buffers, norm
+/// vectors, cuBLAS scratch. Table 6: ~0.31–0.35 GB at both batch sizes.
+pub const FIXED_WORKSPACE_BYTES: u64 = 330 * (1 << 20);
+
+/// Total extra device memory for `streams` streams (Table 6 column 3).
+pub fn extra_gpu_memory_bytes(
+    streams: usize,
+    batch: usize,
+    m: usize,
+    n: usize,
+    d: usize,
+    precision: Precision,
+) -> u64 {
+    FIXED_WORKSPACE_BYTES + streams as u64 * per_stream_workspace_bytes(batch, m, n, d, precision)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DeviceSpec;
+
+    fn p100() -> DeviceSpec {
+        DeviceSpec::tesla_p100()
+    }
+
+    #[test]
+    fn factor_is_one_for_single_stream() {
+        assert_eq!(stream_time_factor(&p100(), 1), 1.0);
+    }
+
+    #[test]
+    fn factor_monotone_decreasing() {
+        let spec = p100();
+        let mut prev = f64::INFINITY;
+        for s in [1, 2, 4, 8, 16] {
+            let f = stream_time_factor(&spec, s);
+            assert!(f < prev);
+            assert!(f >= spec.calib.stream_serial_fraction);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn table6_schedule_efficiencies_reproduce() {
+        // Paper, batch 512: 52.5%, 61.9%, 79.8%, 87.3% for 1/2/4/8 streams.
+        // t₁ is the serialized per-image time with refs on host (pinned):
+        // h2d 20.47 + hgemm 11.6 + sort 3.9 + d2h 2.6 + post 3.9 ≈ 42.4 µs,
+        // but Eq. 4's denominator is the PCIe bound (≈ 48,828 img/s).
+        let spec = p100();
+        let bytes_per_image = (768 * 128 * 2) as u64; // FP16, m=768
+        let theo = pcie_bound_speed(&spec, bytes_per_image, true);
+        // Single-stream speed from the paper: 24,984 img/s ⇒ t₁ = 40.03 µs.
+        let t1 = 1e6 / 24_984.0;
+        let expect = [(1usize, 0.525), (2, 0.619), (4, 0.798), (8, 0.873)];
+        for (s, eff_paper) in expect {
+            let speed = stream_throughput(&spec, t1, s);
+            let eff = schedule_efficiency(speed, theo);
+            assert!(
+                (eff - eff_paper).abs() < 0.10,
+                "streams={s}: efficiency {eff:.3} vs paper {eff_paper}"
+            );
+        }
+    }
+
+    #[test]
+    fn pcie_bound_matches_paper_theoretical() {
+        // §6.2: 9.6 GB/s and 768-feature FP16 matrices ⇒ ~47.6–48.8 k img/s.
+        let speed = pcie_bound_speed(&p100(), (768 * 128 * 2) as u64, true);
+        assert!((speed - 47_592.0).abs() / 47_592.0 < 0.05, "{speed}");
+    }
+
+    #[test]
+    fn workspace_matches_table6_increments() {
+        // Batch 512: per-stream increment ≈ 0.68 GB.
+        let w512 = per_stream_workspace_bytes(512, 768, 768, 128, Precision::F16) as f64 / 1e9;
+        assert!((w512 - 0.68).abs() < 0.08, "batch 512 workspace {w512} GB");
+        // Batch 256: ≈ 0.34 GB.
+        let w256 = per_stream_workspace_bytes(256, 768, 768, 128, Precision::F16) as f64 / 1e9;
+        assert!((w256 - 0.34).abs() < 0.05, "batch 256 workspace {w256} GB");
+    }
+
+    #[test]
+    fn table6_memory_column_reproduces() {
+        // Paper batch 512: 0.989 / 1.667 / 3.027 / 5.819 GB for 1/2/4/8.
+        let expect = [(1usize, 0.989), (2, 1.667), (4, 3.027), (8, 5.819)];
+        for (s, gb_paper) in expect {
+            let gb = extra_gpu_memory_bytes(s, 512, 768, 768, 128, Precision::F16) as f64 / 1e9;
+            assert!(
+                (gb - gb_paper).abs() / gb_paper < 0.12,
+                "streams={s}: {gb:.3} GB vs paper {gb_paper}"
+            );
+        }
+    }
+
+    #[test]
+    fn pageable_bound_below_pinned() {
+        let spec = p100();
+        let b = (768 * 128 * 2) as u64;
+        assert!(pcie_bound_speed(&spec, b, false) < pcie_bound_speed(&spec, b, true));
+    }
+}

@@ -1,0 +1,225 @@
+//! Grayscale floating-point image type.
+//!
+//! Pixels are `f32` in `[0, 1]` (clamping is the caller's concern until
+//! export). Row-major storage: pixel `(x, y)` lives at `data[y * width + x]`.
+
+/// A grayscale image with `f32` pixels.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GrayImage {
+    width: usize,
+    height: usize,
+    data: Vec<f32>,
+}
+
+impl GrayImage {
+    /// Create a black (all-zero) image.
+    pub fn new(width: usize, height: usize) -> Self {
+        Self { width, height, data: vec![0.0; width * height] }
+    }
+
+    /// Create a constant-valued image.
+    pub fn filled(width: usize, height: usize, value: f32) -> Self {
+        Self { width, height, data: vec![value; width * height] }
+    }
+
+    /// Build from a row-major pixel vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != width * height`.
+    pub fn from_vec(width: usize, height: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), width * height, "pixel buffer size mismatch");
+        Self { width, height, data }
+    }
+
+    /// Build from a function of `(x, y)`.
+    pub fn from_fn(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(width * height);
+        for y in 0..height {
+            for x in 0..width {
+                data.push(f(x, y));
+            }
+        }
+        Self { width, height, data }
+    }
+
+    /// Image width in pixels.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixel accessor (no bounds check in release builds).
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> f32 {
+        debug_assert!(x < self.width && y < self.height);
+        self.data[y * self.width + x]
+    }
+
+    /// Mutable pixel accessor.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, v: f32) {
+        debug_assert!(x < self.width && y < self.height);
+        self.data[y * self.width + x] = v;
+    }
+
+    /// Pixel with edge clamping for out-of-range coordinates.
+    #[inline]
+    pub fn get_clamped(&self, x: isize, y: isize) -> f32 {
+        let xc = x.clamp(0, self.width as isize - 1) as usize;
+        let yc = y.clamp(0, self.height as isize - 1) as usize;
+        self.data[yc * self.width + xc]
+    }
+
+    /// Bilinear sample at a continuous coordinate, edge-clamped.
+    pub fn sample_bilinear(&self, x: f32, y: f32) -> f32 {
+        let x0 = x.floor();
+        let y0 = y.floor();
+        let fx = x - x0;
+        let fy = y - y0;
+        let x0 = x0 as isize;
+        let y0 = y0 as isize;
+        let p00 = self.get_clamped(x0, y0);
+        let p10 = self.get_clamped(x0 + 1, y0);
+        let p01 = self.get_clamped(x0, y0 + 1);
+        let p11 = self.get_clamped(x0 + 1, y0 + 1);
+        p00 * (1.0 - fx) * (1.0 - fy)
+            + p10 * fx * (1.0 - fy)
+            + p01 * (1.0 - fx) * fy
+            + p11 * fx * fy
+    }
+
+    /// Row-major pixel slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable row-major pixel slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// A contiguous row.
+    #[inline]
+    pub fn row(&self, y: usize) -> &[f32] {
+        &self.data[y * self.width..(y + 1) * self.width]
+    }
+
+    /// Mean pixel value (0 for an empty image).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().sum::<f32>() / self.data.len() as f32
+    }
+
+    /// Pixel standard deviation.
+    pub fn stddev(&self) -> f32 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let mu = self.mean();
+        let var = self.data.iter().map(|v| (v - mu).powi(2)).sum::<f32>() / self.data.len() as f32;
+        var.sqrt()
+    }
+
+    /// Clamp all pixels into `[0, 1]` in place.
+    pub fn clamp01(&mut self) {
+        for v in &mut self.data {
+            *v = v.clamp(0.0, 1.0);
+        }
+    }
+
+    /// Extract a `w × h` crop with top-left corner `(x, y)`.
+    ///
+    /// # Panics
+    /// Panics if the crop rectangle leaves the image.
+    pub fn crop(&self, x: usize, y: usize, w: usize, h: usize) -> GrayImage {
+        assert!(x + w <= self.width && y + h <= self.height, "crop out of bounds");
+        GrayImage::from_fn(w, h, |cx, cy| self.get(x + cx, y + cy))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let mut im = GrayImage::new(4, 3);
+        assert_eq!(im.width(), 4);
+        assert_eq!(im.height(), 3);
+        im.set(2, 1, 0.5);
+        assert_eq!(im.get(2, 1), 0.5);
+        assert_eq!(im.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn from_fn_layout() {
+        let im = GrayImage::from_fn(3, 2, |x, y| (y * 3 + x) as f32);
+        assert_eq!(im.as_slice(), &[0., 1., 2., 3., 4., 5.]);
+        assert_eq!(im.row(1), &[3., 4., 5.]);
+    }
+
+    #[test]
+    fn clamped_access_at_edges() {
+        let im = GrayImage::from_fn(2, 2, |x, y| (x + 2 * y) as f32);
+        assert_eq!(im.get_clamped(-5, -5), 0.0);
+        assert_eq!(im.get_clamped(10, 10), 3.0);
+        assert_eq!(im.get_clamped(-1, 1), 2.0);
+    }
+
+    #[test]
+    fn bilinear_interpolates() {
+        let im = GrayImage::from_vec(2, 1, vec![0.0, 1.0]);
+        assert_eq!(im.sample_bilinear(0.0, 0.0), 0.0);
+        assert_eq!(im.sample_bilinear(1.0, 0.0), 1.0);
+        assert!((im.sample_bilinear(0.5, 0.0) - 0.5).abs() < 1e-6);
+        assert!((im.sample_bilinear(0.25, 0.0) - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bilinear_exact_at_integer_coords() {
+        let im = GrayImage::from_fn(4, 4, |x, y| (x * 7 + y * 3) as f32 * 0.01);
+        for y in 0..4 {
+            for x in 0..4 {
+                assert!((im.sample_bilinear(x as f32, y as f32) - im.get(x, y)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn statistics() {
+        let im = GrayImage::from_vec(2, 2, vec![0.0, 1.0, 0.0, 1.0]);
+        assert!((im.mean() - 0.5).abs() < 1e-6);
+        assert!((im.stddev() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clamp01_saturates() {
+        let mut im = GrayImage::from_vec(1, 3, vec![-0.5, 0.5, 1.5]);
+        im.clamp01();
+        assert_eq!(im.as_slice(), &[0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn crop_extracts_subimage() {
+        let im = GrayImage::from_fn(4, 4, |x, y| (y * 4 + x) as f32);
+        let c = im.crop(1, 2, 2, 2);
+        assert_eq!(c.as_slice(), &[9., 10., 13., 14.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn crop_rejects_overflow() {
+        let im = GrayImage::new(4, 4);
+        let _ = im.crop(3, 3, 2, 2);
+    }
+}

@@ -1,0 +1,127 @@
+//! Minimal PGM (P5) import/export for debugging and the examples.
+//!
+//! PGM is the simplest interoperable grayscale container; it lets a user dump
+//! any generated texture or augmented query and inspect it with standard
+//! tools, without pulling an image-codec dependency into the workspace.
+
+use crate::gray::GrayImage;
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::Path;
+
+/// Write `im` as an 8-bit binary PGM (P5) file.
+pub fn write_pgm(im: &GrayImage, path: &Path) -> io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    write_pgm_to(im, &mut f)
+}
+
+/// Write `im` as PGM into any writer.
+pub fn write_pgm_to(im: &GrayImage, w: &mut impl Write) -> io::Result<()> {
+    write!(w, "P5\n{} {}\n255\n", im.width(), im.height())?;
+    let bytes: Vec<u8> = im
+        .as_slice()
+        .iter()
+        .map(|&v| (v.clamp(0.0, 1.0) * 255.0).round() as u8)
+        .collect();
+    w.write_all(&bytes)
+}
+
+/// Read an 8-bit binary PGM (P5) file.
+pub fn read_pgm(path: &Path) -> io::Result<GrayImage> {
+    let f = std::fs::File::open(path)?;
+    read_pgm_from(&mut BufReader::new(f))
+}
+
+/// Read PGM from any buffered reader.
+pub fn read_pgm_from(r: &mut impl BufRead) -> io::Result<GrayImage> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+
+    // Header tokens may be separated by arbitrary whitespace and comments.
+    let mut tokens: Vec<String> = Vec::new();
+    while tokens.len() < 4 {
+        let mut line = String::new();
+        if r.read_line(&mut line)? == 0 {
+            return Err(bad("truncated PGM header"));
+        }
+        let line = line.split('#').next().unwrap_or("");
+        tokens.extend(line.split_whitespace().map(str::to_string));
+    }
+    if tokens[0] != "P5" {
+        return Err(bad("not a binary PGM (P5) file"));
+    }
+    let width: usize = tokens[1].parse().map_err(|_| bad("bad width"))?;
+    let height: usize = tokens[2].parse().map_err(|_| bad("bad height"))?;
+    let maxval: u32 = tokens[3].parse().map_err(|_| bad("bad maxval"))?;
+    if maxval == 0 || maxval > 255 {
+        return Err(bad("only 8-bit PGM supported"));
+    }
+
+    let mut bytes = vec![0u8; width * height];
+    r.read_exact(&mut bytes)?;
+    let scale = 1.0 / maxval as f32;
+    Ok(GrayImage::from_vec(
+        width,
+        height,
+        bytes.into_iter().map(|b| b as f32 * scale).collect(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip_preserves_pixels_within_quantization() {
+        let im = GrayImage::from_fn(16, 8, |x, y| ((x * 16 + y) % 256) as f32 / 255.0);
+        let mut buf = Vec::new();
+        write_pgm_to(&im, &mut buf).unwrap();
+        let back = read_pgm_from(&mut Cursor::new(buf)).unwrap();
+        assert_eq!((back.width(), back.height()), (16, 8));
+        for (a, b) in im.as_slice().iter().zip(back.as_slice()) {
+            assert!((a - b).abs() <= 1.0 / 255.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn header_is_canonical() {
+        let im = GrayImage::new(3, 2);
+        let mut buf = Vec::new();
+        write_pgm_to(&im, &mut buf).unwrap();
+        assert!(buf.starts_with(b"P5\n3 2\n255\n"));
+        assert_eq!(buf.len(), b"P5\n3 2\n255\n".len() + 6);
+    }
+
+    #[test]
+    fn rejects_non_p5() {
+        let data = b"P2\n2 2\n255\n0 0 0 0\n".to_vec();
+        assert!(read_pgm_from(&mut Cursor::new(data)).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_payload() {
+        let data = b"P5\n4 4\n255\nabc".to_vec();
+        assert!(read_pgm_from(&mut Cursor::new(data)).is_err());
+    }
+
+    #[test]
+    fn tolerates_comments_in_header() {
+        let mut data = b"P5\n# generated\n2 1\n255\n".to_vec();
+        data.extend_from_slice(&[0u8, 255u8]);
+        let im = read_pgm_from(&mut Cursor::new(data)).unwrap();
+        assert_eq!(im.get(0, 0), 0.0);
+        assert_eq!(im.get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("texid_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.pgm");
+        let im = GrayImage::from_fn(8, 8, |x, y| ((x + y) % 2) as f32);
+        write_pgm(&im, &path).unwrap();
+        let back = read_pgm(&path).unwrap();
+        assert_eq!(back.get(0, 0), 0.0);
+        assert_eq!(back.get(1, 0), 1.0);
+        std::fs::remove_file(&path).ok();
+    }
+}

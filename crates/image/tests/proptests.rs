@@ -1,0 +1,99 @@
+//! Property-based tests for the image substrate.
+
+use proptest::prelude::*;
+use texid_image::filter::{gaussian_blur, gaussian_kernel, resize_bilinear, subtract};
+use texid_image::{CaptureCondition, GrayImage, TextureGenerator};
+
+fn arb_image() -> impl Strategy<Value = GrayImage> {
+    (4usize..32, 4usize..32).prop_flat_map(|(w, h)| {
+        prop::collection::vec(0.0f32..1.0, w * h)
+            .prop_map(move |data| GrayImage::from_vec(w, h, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gaussian_kernel_is_a_probability_mass(sigma in 0.3f32..5.0) {
+        let k = gaussian_kernel(sigma);
+        prop_assert!(k.len() % 2 == 1);
+        let sum: f32 = k.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(k.iter().all(|&v| v >= 0.0));
+        // Symmetric around the centre.
+        for i in 0..k.len() / 2 {
+            prop_assert!((k[i] - k[k.len() - 1 - i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn blur_output_within_input_range(im in arb_image(), sigma in 0.4f32..3.0) {
+        let min = im.as_slice().iter().cloned().fold(f32::INFINITY, f32::min);
+        let max = im.as_slice().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let b = gaussian_blur(&im, sigma);
+        for &v in b.as_slice() {
+            // Convex combination of inputs (edge clamping keeps this true).
+            prop_assert!(v >= min - 1e-5 && v <= max + 1e-5);
+        }
+    }
+
+    #[test]
+    fn blur_never_increases_variance(im in arb_image(), sigma in 0.4f32..3.0) {
+        let b = gaussian_blur(&im, sigma);
+        prop_assert!(b.stddev() <= im.stddev() + 1e-5);
+    }
+
+    #[test]
+    fn resize_identity_is_lossless(im in arb_image()) {
+        let r = resize_bilinear(&im, im.width(), im.height());
+        for (a, b) in im.as_slice().iter().zip(r.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn resize_preserves_range(im in arb_image(), fx in 1usize..4, fy in 1usize..4) {
+        let r = resize_bilinear(&im, im.width() * fx, im.height() * fy);
+        let min = im.as_slice().iter().cloned().fold(f32::INFINITY, f32::min);
+        let max = im.as_slice().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        for &v in r.as_slice() {
+            prop_assert!(v >= min - 1e-5 && v <= max + 1e-5);
+        }
+    }
+
+    #[test]
+    fn subtract_self_is_zero(im in arb_image()) {
+        let d = subtract(&im, &im);
+        prop_assert!(d.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn bilinear_sampling_is_bounded(im in arb_image(), x in -5.0f32..40.0, y in -5.0f32..40.0) {
+        let v = im.sample_bilinear(x, y);
+        let min = im.as_slice().iter().cloned().fold(f32::INFINITY, f32::min);
+        let max = im.as_slice().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert!(v >= min - 1e-5 && v <= max + 1e-5);
+    }
+
+    #[test]
+    fn captures_always_produce_valid_images(seed in 0u64..10_000, noise_seed in any::<u64>()) {
+        let im = TextureGenerator::with_size(64).generate(seed);
+        let mut rng = rand::SeedableRng::seed_from_u64(seed ^ 0x9e37);
+        for cond in [
+            CaptureCondition::mild(&mut rng),
+            CaptureCondition::moderate(&mut rng),
+            CaptureCondition::severe(&mut rng),
+        ] {
+            let q = cond.apply(&im, noise_seed);
+            prop_assert_eq!((q.width(), q.height()), (64, 64));
+            prop_assert!(q.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v) && v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn generator_is_pure(seed in 0u64..100_000) {
+        let g = TextureGenerator::with_size(48);
+        prop_assert_eq!(g.generate(seed), g.generate(seed));
+    }
+}

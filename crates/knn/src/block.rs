@@ -1,0 +1,151 @@
+//! Precision-tagged feature blocks.
+//!
+//! A [`FeatureBlock`] is one reference feature matrix (or a batched
+//! concatenation of several) in whatever precision the engine is configured
+//! for. FP16 blocks remember the scale factor applied before narrowing
+//! (§4.2) so matching can undo `scale²` after the GEMM.
+
+use texid_linalg::{Mat, MatF16};
+
+/// A feature matrix in storage precision.
+#[derive(Clone, Debug)]
+pub enum FeatureBlock {
+    /// Full-precision storage.
+    F32(Mat),
+    /// Half-precision storage; `scale` was multiplied in before narrowing.
+    F16 {
+        /// The narrowed matrix (values are `original · scale`).
+        mat: MatF16,
+        /// The paper's overflow-avoiding scale factor (2⁻⁷ in practice).
+        scale: f32,
+    },
+}
+
+impl FeatureBlock {
+    /// Narrow an f32 feature matrix into the requested precision.
+    pub fn from_mat(mat: Mat, precision: texid_gpu::Precision, scale: f32) -> FeatureBlock {
+        match precision {
+            texid_gpu::Precision::F32 => FeatureBlock::F32(mat),
+            texid_gpu::Precision::F16 => {
+                FeatureBlock::F16 { mat: mat.to_f16_scaled(scale), scale }
+            }
+        }
+    }
+
+    /// Number of feature columns.
+    pub fn cols(&self) -> usize {
+        match self {
+            FeatureBlock::F32(m) => m.cols(),
+            FeatureBlock::F16 { mat, .. } => mat.cols(),
+        }
+    }
+
+    /// Descriptor dimensionality.
+    pub fn rows(&self) -> usize {
+        match self {
+            FeatureBlock::F32(m) => m.rows(),
+            FeatureBlock::F16 { mat, .. } => mat.rows(),
+        }
+    }
+
+    /// Payload bytes in storage precision.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            FeatureBlock::F32(m) => m.size_bytes(),
+            FeatureBlock::F16 { mat, .. } => mat.size_bytes(),
+        }
+    }
+
+    /// Storage precision.
+    pub fn precision(&self) -> texid_gpu::Precision {
+        match self {
+            FeatureBlock::F32(_) => texid_gpu::Precision::F32,
+            FeatureBlock::F16 { .. } => texid_gpu::Precision::F16,
+        }
+    }
+
+    /// Concatenate blocks of identical precision/scale column-wise
+    /// (the paper's reference batching).
+    ///
+    /// # Panics
+    /// Panics on empty input or mixed precisions/scales.
+    pub fn hconcat(blocks: &[&FeatureBlock]) -> FeatureBlock {
+        assert!(!blocks.is_empty(), "hconcat of zero blocks");
+        match blocks[0] {
+            FeatureBlock::F32(_) => {
+                let mats: Vec<&Mat> = blocks
+                    .iter()
+                    .map(|b| match b {
+                        FeatureBlock::F32(m) => m,
+                        _ => panic!("mixed precisions in hconcat"),
+                    })
+                    .collect();
+                FeatureBlock::F32(Mat::hconcat(&mats))
+            }
+            FeatureBlock::F16 { scale, .. } => {
+                let s0 = *scale;
+                let mats: Vec<&MatF16> = blocks
+                    .iter()
+                    .map(|b| match b {
+                        FeatureBlock::F16 { mat, scale } if *scale == s0 => mat,
+                        FeatureBlock::F16 { .. } => panic!("mixed scales in hconcat"),
+                        _ => panic!("mixed precisions in hconcat"),
+                    })
+                    .collect();
+                FeatureBlock::F16 { mat: MatF16::hconcat(&mats), scale: s0 }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use texid_gpu::Precision;
+
+    fn sample(cols: usize) -> Mat {
+        Mat::from_fn(4, cols, |r, c| (r + c) as f32 * 0.1)
+    }
+
+    #[test]
+    fn f32_roundtrip_properties() {
+        let b = FeatureBlock::from_mat(sample(3), Precision::F32, 1.0);
+        assert_eq!(b.cols(), 3);
+        assert_eq!(b.rows(), 4);
+        assert_eq!(b.size_bytes(), 48);
+        assert_eq!(b.precision(), Precision::F32);
+    }
+
+    #[test]
+    fn f16_halves_bytes() {
+        let b = FeatureBlock::from_mat(sample(3), Precision::F16, 0.0078125);
+        assert_eq!(b.size_bytes(), 24);
+        assert_eq!(b.precision(), Precision::F16);
+    }
+
+    #[test]
+    fn hconcat_f32() {
+        let a = FeatureBlock::from_mat(sample(2), Precision::F32, 1.0);
+        let b = FeatureBlock::from_mat(sample(3), Precision::F32, 1.0);
+        let cat = FeatureBlock::hconcat(&[&a, &b]);
+        assert_eq!(cat.cols(), 5);
+    }
+
+    #[test]
+    fn hconcat_f16_same_scale() {
+        let s = 2.0_f32.powi(-7);
+        let a = FeatureBlock::from_mat(sample(2), Precision::F16, s);
+        let b = FeatureBlock::from_mat(sample(1), Precision::F16, s);
+        let cat = FeatureBlock::hconcat(&[&a, &b]);
+        assert_eq!(cat.cols(), 3);
+        assert_eq!(cat.precision(), Precision::F16);
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed precisions")]
+    fn hconcat_rejects_mixed() {
+        let a = FeatureBlock::from_mat(sample(2), Precision::F32, 1.0);
+        let b = FeatureBlock::from_mat(sample(1), Precision::F16, 1.0);
+        let _ = FeatureBlock::hconcat(&[&a, &b]);
+    }
+}

@@ -1,0 +1,715 @@
+//! Geometric verification — the final stage of the image-matching pipeline
+//! (Fig. 2), removing outlier correspondences.
+//!
+//! The paper excludes this stage from its speed experiments ("no geometrical
+//! verification is conducted") but it belongs to the identification pipeline
+//! proper; the accuracy examples use it. We estimate a 2-D **similarity
+//! transform** (rotation + uniform scale + translation — the family the
+//! capture conditions span) with RANSAC over the ratio-test matches, and
+//! report the inlier set.
+
+use crate::ratio::FeatureMatch;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use texid_sift::Keypoint;
+
+/// A 2-D similarity transform `p' = s·R(θ)·p + t`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Similarity {
+    /// `s·cos θ`.
+    pub a: f32,
+    /// `s·sin θ`.
+    pub b: f32,
+    /// Translation x.
+    pub tx: f32,
+    /// Translation y.
+    pub ty: f32,
+}
+
+impl Similarity {
+    /// Identity transform.
+    pub fn identity() -> Similarity {
+        Similarity { a: 1.0, b: 0.0, tx: 0.0, ty: 0.0 }
+    }
+
+    /// Apply to a point.
+    pub fn apply(&self, x: f32, y: f32) -> (f32, f32) {
+        (self.a * x - self.b * y + self.tx, self.b * x + self.a * y + self.ty)
+    }
+
+    /// Scale factor `s`.
+    pub fn scale(&self) -> f32 {
+        (self.a * self.a + self.b * self.b).sqrt()
+    }
+
+    /// Rotation angle θ, radians.
+    pub fn rotation(&self) -> f32 {
+        self.b.atan2(self.a)
+    }
+
+    /// Exact fit from two point correspondences `(p, p')`.
+    /// Returns `None` when the source points coincide (degenerate).
+    pub fn from_two_points(
+        p1: (f32, f32),
+        p1p: (f32, f32),
+        p2: (f32, f32),
+        p2p: (f32, f32),
+    ) -> Option<Similarity> {
+        let dx = p2.0 - p1.0;
+        let dy = p2.1 - p1.1;
+        let denom = dx * dx + dy * dy;
+        if denom < 1e-9 {
+            return None;
+        }
+        let dxp = p2p.0 - p1p.0;
+        let dyp = p2p.1 - p1p.1;
+        // Complex division (dxp + i·dyp) / (dx + i·dy).
+        let a = (dxp * dx + dyp * dy) / denom;
+        let b = (dyp * dx - dxp * dy) / denom;
+        let tx = p1p.0 - (a * p1.0 - b * p1.1);
+        let ty = p1p.1 - (b * p1.0 + a * p1.1);
+        Some(Similarity { a, b, tx, ty })
+    }
+}
+
+/// A full 2-D affine transform `p' = A·p + t` (six degrees of freedom:
+/// rotation, anisotropic scale, shear, translation). Strictly more
+/// expressive than [`Similarity`]; useful when the capture includes
+/// out-of-plane tilt that a similarity cannot absorb.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Affine {
+    /// Matrix entry (0,0).
+    pub a: f32,
+    /// Matrix entry (0,1).
+    pub b: f32,
+    /// Matrix entry (1,0).
+    pub c: f32,
+    /// Matrix entry (1,1).
+    pub d: f32,
+    /// Translation x.
+    pub tx: f32,
+    /// Translation y.
+    pub ty: f32,
+}
+
+impl Affine {
+    /// Identity transform.
+    pub fn identity() -> Affine {
+        Affine { a: 1.0, b: 0.0, c: 0.0, d: 1.0, tx: 0.0, ty: 0.0 }
+    }
+
+    /// Apply to a point.
+    pub fn apply(&self, x: f32, y: f32) -> (f32, f32) {
+        (self.a * x + self.b * y + self.tx, self.c * x + self.d * y + self.ty)
+    }
+
+    /// Determinant of the linear part (area scaling; ≤0 ⇒ reflection or
+    /// degenerate).
+    pub fn det(&self) -> f32 {
+        self.a * self.d - self.b * self.c
+    }
+
+    /// Exact fit from three point correspondences. Returns `None` when the
+    /// source points are (nearly) collinear.
+    pub fn from_three_points(
+        src: [(f32, f32); 3],
+        dst: [(f32, f32); 3],
+    ) -> Option<Affine> {
+        // Solve [x y 1]·[a b tx]ᵀ = x' and [x y 1]·[c d ty]ᵀ = y' by
+        // Cramer's rule on the 3×3 source matrix.
+        let det = src[0].0 * (src[1].1 - src[2].1) - src[0].1 * (src[1].0 - src[2].0)
+            + (src[1].0 * src[2].1 - src[2].0 * src[1].1);
+        // Degeneracy scale: compare against the triangle's extent.
+        let extent = (src[1].0 - src[0].0).hypot(src[1].1 - src[0].1)
+            * (src[2].0 - src[0].0).hypot(src[2].1 - src[0].1);
+        if det.abs() < 1e-6 * extent.max(1.0) {
+            return None;
+        }
+        let solve = |r: [f32; 3]| -> (f32, f32, f32) {
+            // Coefficients for row-vector unknowns (u, v, w) with
+            // u·x + v·y + w = r per correspondence.
+            let d0 = r[0] * (src[1].1 - src[2].1) - src[0].1 * (r[1] - r[2])
+                + (r[1] * src[2].1 - r[2] * src[1].1);
+            let d1 = src[0].0 * (r[1] - r[2]) - r[0] * (src[1].0 - src[2].0)
+                + (src[1].0 * r[2] - src[2].0 * r[1]);
+            let d2 = src[0].0 * (src[1].1 * r[2] - src[2].1 * r[1])
+                - src[0].1 * (src[1].0 * r[2] - src[2].0 * r[1])
+                + r[0] * (src[1].0 * src[2].1 - src[2].0 * src[1].1);
+            (d0 / det, d1 / det, d2 / det)
+        };
+        let (a, b, tx) = solve([dst[0].0, dst[1].0, dst[2].0]);
+        let (c, d, ty) = solve([dst[0].1, dst[1].1, dst[2].1]);
+        Some(Affine { a, b, c, d, tx, ty })
+    }
+}
+
+/// A planar homography `p' ~ H·p` (eight degrees of freedom) — the model
+/// for full out-of-plane viewpoint change of a planar texture patch, which
+/// the tea-brick surfaces are.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Homography {
+    /// Row-major 3×3 matrix, normalized to `h[8] = 1`.
+    pub h: [f32; 9],
+}
+
+impl Homography {
+    /// Identity.
+    pub fn identity() -> Homography {
+        Homography { h: [1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0] }
+    }
+
+    /// Apply with the perspective divide. Returns `None` on a point at
+    /// infinity (denominator ~0).
+    pub fn apply(&self, x: f32, y: f32) -> Option<(f32, f32)> {
+        let w = self.h[6] * x + self.h[7] * y + self.h[8];
+        if w.abs() < 1e-9 {
+            return None;
+        }
+        Some((
+            (self.h[0] * x + self.h[1] * y + self.h[2]) / w,
+            (self.h[3] * x + self.h[4] * y + self.h[5]) / w,
+        ))
+    }
+
+    /// Exact DLT fit from four correspondences (h33 = 1 normalization).
+    /// Returns `None` for degenerate configurations (three collinear
+    /// source points make the 8×8 system singular).
+    pub fn from_four_points(src: [(f32, f32); 4], dst: [(f32, f32); 4]) -> Option<Homography> {
+        // Build the 8×8 system A·h = b for h = (h11..h32), h33 = 1.
+        let mut a = [[0.0f64; 8]; 8];
+        let mut b = [0.0f64; 8];
+        for (k, (&(x, y), &(u, v))) in src.iter().zip(dst.iter()).enumerate() {
+            let (x, y, u, v) = (x as f64, y as f64, u as f64, v as f64);
+            a[2 * k] = [x, y, 1.0, 0.0, 0.0, 0.0, -u * x, -u * y];
+            b[2 * k] = u;
+            a[2 * k + 1] = [0.0, 0.0, 0.0, x, y, 1.0, -v * x, -v * y];
+            b[2 * k + 1] = v;
+        }
+        let h = solve8(&mut a, &mut b)?;
+        Some(Homography {
+            h: [
+                h[0] as f32,
+                h[1] as f32,
+                h[2] as f32,
+                h[3] as f32,
+                h[4] as f32,
+                h[5] as f32,
+                h[6] as f32,
+                h[7] as f32,
+                1.0,
+            ],
+        })
+    }
+}
+
+/// Gaussian elimination with partial pivoting on an 8×8 system.
+fn solve8(a: &mut [[f64; 8]; 8], b: &mut [f64; 8]) -> Option<[f64; 8]> {
+    for col in 0..8 {
+        // Pivot.
+        let mut pivot = col;
+        for row in col + 1..8 {
+            if a[row][col].abs() > a[pivot][col].abs() {
+                pivot = row;
+            }
+        }
+        if a[pivot][col].abs() < 1e-10 {
+            return None; // singular
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate below.
+        for row in col + 1..8 {
+            let f = a[row][col] / a[col][col];
+            for c in col..8 {
+                a[row][c] -= f * a[col][c];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    // Back-substitute.
+    let mut x = [0.0f64; 8];
+    for col in (0..8).rev() {
+        let mut s = b[col];
+        for c in col + 1..8 {
+            s -= a[col][c] * x[c];
+        }
+        x[col] = s / a[col][col];
+    }
+    Some(x)
+}
+
+/// RANSAC parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct RansacParams {
+    /// Sampling iterations.
+    pub iterations: usize,
+    /// Inlier reprojection tolerance, pixels.
+    pub inlier_tolerance: f32,
+    /// Deterministic seed.
+    pub seed: u64,
+}
+
+impl Default for RansacParams {
+    fn default() -> Self {
+        RansacParams { iterations: 200, inlier_tolerance: 3.0, seed: 0x9e3779b9 }
+    }
+}
+
+/// Result of geometric verification.
+#[derive(Clone, Debug)]
+pub struct Verification {
+    /// Best model found (identity when no model fit).
+    pub transform: Similarity,
+    /// Indices into the input match list that are inliers.
+    pub inliers: Vec<usize>,
+}
+
+impl Verification {
+    /// Verified match count — the score used for the final decision.
+    pub fn inlier_count(&self) -> usize {
+        self.inliers.len()
+    }
+}
+
+/// Run RANSAC over ratio-test matches. `ref_kps`/`query_kps` are the
+/// keypoint lists the match indices refer to (reference → query direction).
+///
+/// With fewer than two matches, verification degenerates to zero inliers.
+pub fn verify_matches(
+    matches: &[FeatureMatch],
+    ref_kps: &[Keypoint],
+    query_kps: &[Keypoint],
+    params: &RansacParams,
+) -> Verification {
+    if matches.len() < 2 {
+        return Verification { transform: Similarity::identity(), inliers: Vec::new() };
+    }
+    let pts: Vec<((f32, f32), (f32, f32))> = matches
+        .iter()
+        .map(|m| {
+            let r = &ref_kps[m.ref_idx as usize];
+            let q = &query_kps[m.query_idx as usize];
+            ((r.x, r.y), (q.x, q.y))
+        })
+        .collect();
+
+    let mut rng = SmallRng::seed_from_u64(params.seed);
+    let mut best: Option<(Similarity, Vec<usize>)> = None;
+    let tol2 = params.inlier_tolerance * params.inlier_tolerance;
+
+    for _ in 0..params.iterations {
+        let i = rng.gen_range(0..pts.len());
+        let mut j = rng.gen_range(0..pts.len());
+        if i == j {
+            j = (j + 1) % pts.len();
+        }
+        let Some(model) = Similarity::from_two_points(pts[i].0, pts[i].1, pts[j].0, pts[j].1)
+        else {
+            continue;
+        };
+        // Reject wild scale estimates (capture zoom stays near 1).
+        let s = model.scale();
+        if !(0.3..3.0).contains(&s) {
+            continue;
+        }
+        let inliers: Vec<usize> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, (p, pp))| {
+                let (x, y) = model.apply(p.0, p.1);
+                let dx = x - pp.0;
+                let dy = y - pp.1;
+                dx * dx + dy * dy <= tol2
+            })
+            .map(|(k, _)| k)
+            .collect();
+        if best.as_ref().is_none_or(|(_, b)| inliers.len() > b.len()) {
+            best = Some((model, inliers));
+        }
+    }
+
+    match best {
+        Some((transform, inliers)) => Verification { transform, inliers },
+        None => Verification { transform: Similarity::identity(), inliers: Vec::new() },
+    }
+}
+
+/// RANSAC over ratio-test matches with the **affine** model (3-point
+/// minimal samples). Interface mirrors [`verify_matches`]; returns the
+/// best transform and its inlier indices.
+pub fn verify_matches_affine(
+    matches: &[FeatureMatch],
+    ref_kps: &[Keypoint],
+    query_kps: &[Keypoint],
+    params: &RansacParams,
+) -> (Affine, Vec<usize>) {
+    if matches.len() < 3 {
+        return (Affine::identity(), Vec::new());
+    }
+    let pts: Vec<((f32, f32), (f32, f32))> = matches
+        .iter()
+        .map(|m| {
+            let r = &ref_kps[m.ref_idx as usize];
+            let q = &query_kps[m.query_idx as usize];
+            ((r.x, r.y), (q.x, q.y))
+        })
+        .collect();
+
+    let mut rng = SmallRng::seed_from_u64(params.seed ^ 0xaff1);
+    let mut best: Option<(Affine, Vec<usize>)> = None;
+    let tol2 = params.inlier_tolerance * params.inlier_tolerance;
+
+    for _ in 0..params.iterations {
+        let i = rng.gen_range(0..pts.len());
+        let mut j = rng.gen_range(0..pts.len());
+        let mut k = rng.gen_range(0..pts.len());
+        if j == i {
+            j = (j + 1) % pts.len();
+        }
+        while k == i || k == j {
+            k = (k + 1) % pts.len();
+        }
+        let Some(model) = Affine::from_three_points(
+            [pts[i].0, pts[j].0, pts[k].0],
+            [pts[i].1, pts[j].1, pts[k].1],
+        ) else {
+            continue;
+        };
+        // Physically plausible captures only: area scaling near 1, no
+        // reflections.
+        let det = model.det();
+        if !(0.1..10.0).contains(&det) {
+            continue;
+        }
+        let inliers: Vec<usize> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, (p, pp))| {
+                let (x, y) = model.apply(p.0, p.1);
+                let dx = x - pp.0;
+                let dy = y - pp.1;
+                dx * dx + dy * dy <= tol2
+            })
+            .map(|(idx, _)| idx)
+            .collect();
+        if best.as_ref().is_none_or(|(_, b)| inliers.len() > b.len()) {
+            best = Some((model, inliers));
+        }
+    }
+    best.unwrap_or((Affine::identity(), Vec::new()))
+}
+
+/// RANSAC with the **homography** model (4-point minimal samples). Returns
+/// the best model and its inlier indices. Needs ≥ 4 matches.
+pub fn verify_matches_homography(
+    matches: &[FeatureMatch],
+    ref_kps: &[Keypoint],
+    query_kps: &[Keypoint],
+    params: &RansacParams,
+) -> (Homography, Vec<usize>) {
+    if matches.len() < 4 {
+        return (Homography::identity(), Vec::new());
+    }
+    let pts: Vec<((f32, f32), (f32, f32))> = matches
+        .iter()
+        .map(|m| {
+            let r = &ref_kps[m.ref_idx as usize];
+            let q = &query_kps[m.query_idx as usize];
+            ((r.x, r.y), (q.x, q.y))
+        })
+        .collect();
+
+    let mut rng = SmallRng::seed_from_u64(params.seed ^ 0x40_0070);
+    let mut best: Option<(Homography, Vec<usize>)> = None;
+    let tol2 = params.inlier_tolerance * params.inlier_tolerance;
+
+    for _ in 0..params.iterations {
+        // Four distinct sample indices.
+        let mut idx = [0usize; 4];
+        for k in 0..4 {
+            let mut candidate = rng.gen_range(0..pts.len());
+            while idx[..k].contains(&candidate) {
+                candidate = (candidate + 1) % pts.len();
+            }
+            idx[k] = candidate;
+        }
+        let src = [pts[idx[0]].0, pts[idx[1]].0, pts[idx[2]].0, pts[idx[3]].0];
+        let dst = [pts[idx[0]].1, pts[idx[1]].1, pts[idx[2]].1, pts[idx[3]].1];
+        let Some(model) = Homography::from_four_points(src, dst) else {
+            continue;
+        };
+        let inliers: Vec<usize> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, (p, pp))| {
+                model.apply(p.0, p.1).is_some_and(|(x, y)| {
+                    let dx = x - pp.0;
+                    let dy = y - pp.1;
+                    dx * dx + dy * dy <= tol2
+                })
+            })
+            .map(|(k, _)| k)
+            .collect();
+        if best.as_ref().is_none_or(|(_, b)| inliers.len() > b.len()) {
+            best = Some((model, inliers));
+        }
+    }
+    best.unwrap_or((Homography::identity(), Vec::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kp(x: f32, y: f32) -> Keypoint {
+        Keypoint {
+            x,
+            y,
+            sigma: 1.6,
+            orientation: 0.0,
+            response: 1.0,
+            octave: 0,
+            interval: 0.0,
+            oct_x: x,
+            oct_y: y,
+        }
+    }
+
+    /// Build matches under a known transform, with `n_outliers` corrupted.
+    fn planted(
+        model: Similarity,
+        n_inliers: usize,
+        n_outliers: usize,
+    ) -> (Vec<FeatureMatch>, Vec<Keypoint>, Vec<Keypoint>) {
+        let mut ref_kps = Vec::new();
+        let mut query_kps = Vec::new();
+        let mut matches = Vec::new();
+        let mut state = 42u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 40) & 0xffff) as f32 / 65535.0 * 200.0
+        };
+        for i in 0..n_inliers + n_outliers {
+            let x = next();
+            let y = next();
+            ref_kps.push(kp(x, y));
+            let (qx, qy) = if i < n_inliers {
+                model.apply(x, y)
+            } else {
+                (next(), next()) // random — geometric outlier
+            };
+            query_kps.push(kp(qx, qy));
+            matches.push(FeatureMatch { query_idx: i as u32, ref_idx: i as u32, d1: 0.1, d2: 1.0 });
+        }
+        (matches, ref_kps, query_kps)
+    }
+
+    #[test]
+    fn homography_four_point_fit_exact() {
+        // A keystone warp (perspective foreshortening).
+        let truth = Homography { h: [1.0, 0.1, 5.0, 0.05, 0.95, -3.0, 1e-3, 2e-4, 1.0] };
+        let src = [(0.0, 0.0), (100.0, 0.0), (0.0, 100.0), (100.0, 100.0)];
+        let dst = src.map(|(x, y)| truth.apply(x, y).unwrap());
+        let fit = Homography::from_four_points(src, dst).unwrap();
+        for (a, b) in fit.h.iter().zip(truth.h.iter()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+        // And it reproduces an unseen point.
+        let (x, y) = fit.apply(37.0, 64.0).unwrap();
+        let (tx, ty) = truth.apply(37.0, 64.0).unwrap();
+        assert!((x - tx).abs() < 1e-2 && (y - ty).abs() < 1e-2);
+    }
+
+    #[test]
+    fn homography_rejects_collinear_sources() {
+        let src = [(0.0, 0.0), (10.0, 10.0), (20.0, 20.0), (5.0, 0.0)];
+        let dst = [(0.0, 0.0), (10.0, 10.0), (20.0, 20.0), (5.0, 0.0)];
+        assert!(Homography::from_four_points(src, dst).is_none());
+    }
+
+    #[test]
+    fn homography_ransac_beats_affine_on_perspective_data() {
+        // Plant a genuinely projective transform: affine cannot fit it.
+        let truth = Homography { h: [0.95, 0.05, 10.0, -0.03, 1.02, 4.0, 8e-4, -5e-4, 1.0] };
+        let mut ref_kps = Vec::new();
+        let mut query_kps = Vec::new();
+        let mut matches = Vec::new();
+        let mut state = 99u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 40) & 0xffff) as f32 / 65535.0 * 250.0
+        };
+        for i in 0..70 {
+            let x = next();
+            let y = next();
+            ref_kps.push(kp(x, y));
+            let (qx, qy) = if i < 55 {
+                truth.apply(x, y).unwrap()
+            } else {
+                (next(), next())
+            };
+            query_kps.push(kp(qx, qy));
+            matches.push(FeatureMatch { query_idx: i as u32, ref_idx: i as u32, d1: 0.1, d2: 1.0 });
+        }
+        let tight = RansacParams { inlier_tolerance: 1.5, iterations: 500, ..RansacParams::default() };
+        let (fit, h_inliers) = verify_matches_homography(&matches, &ref_kps, &query_kps, &tight);
+        assert!(h_inliers.len() >= 50, "homography found {} inliers", h_inliers.len());
+        assert!((fit.h[6] - truth.h[6]).abs() < 3e-4, "perspective term {}", fit.h[6]);
+        let (_, a_inliers) = verify_matches_affine(&matches, &ref_kps, &query_kps, &tight);
+        assert!(
+            h_inliers.len() > a_inliers.len(),
+            "homography {} vs affine {}",
+            h_inliers.len(),
+            a_inliers.len()
+        );
+    }
+
+    #[test]
+    fn homography_needs_four_matches() {
+        let (matches, rk, qk) = planted(Similarity::identity(), 3, 0);
+        let (fit, inliers) = verify_matches_homography(&matches, &rk, &qk, &RansacParams::default());
+        assert_eq!(fit, Homography::identity());
+        assert!(inliers.is_empty());
+    }
+
+    #[test]
+    fn affine_three_point_fit_exact() {
+        let truth = Affine { a: 1.1, b: 0.2, c: -0.1, d: 0.9, tx: 5.0, ty: -3.0 };
+        let src = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)];
+        let dst = [truth.apply(0.0, 0.0), truth.apply(10.0, 0.0), truth.apply(0.0, 10.0)];
+        let fit = Affine::from_three_points(src, dst).unwrap();
+        for (a, b) in [
+            (fit.a, truth.a),
+            (fit.b, truth.b),
+            (fit.c, truth.c),
+            (fit.d, truth.d),
+            (fit.tx, truth.tx),
+            (fit.ty, truth.ty),
+        ] {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn affine_rejects_collinear_sources() {
+        let src = [(0.0, 0.0), (5.0, 5.0), (10.0, 10.0)];
+        let dst = [(0.0, 0.0), (1.0, 2.0), (3.0, 4.0)];
+        assert!(Affine::from_three_points(src, dst).is_none());
+    }
+
+    #[test]
+    fn affine_ransac_recovers_anisotropic_transform() {
+        // A transform with shear that the similarity model cannot express.
+        let truth = Affine { a: 1.05, b: 0.15, c: 0.02, d: 0.92, tx: 8.0, ty: -4.0 };
+        let mut ref_kps = Vec::new();
+        let mut query_kps = Vec::new();
+        let mut matches = Vec::new();
+        let mut state = 7u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 40) & 0xffff) as f32 / 65535.0 * 200.0
+        };
+        for i in 0..80 {
+            let x = next();
+            let y = next();
+            ref_kps.push(kp(x, y));
+            let (qx, qy) = if i < 60 { truth.apply(x, y) } else { (next(), next()) };
+            query_kps.push(kp(qx, qy));
+            matches.push(FeatureMatch { query_idx: i as u32, ref_idx: i as u32, d1: 0.1, d2: 1.0 });
+        }
+        let (fit, inliers) =
+            verify_matches_affine(&matches, &ref_kps, &query_kps, &RansacParams::default());
+        assert!(inliers.len() >= 55, "found {} inliers", inliers.len());
+        assert!((fit.a - truth.a).abs() < 0.02);
+        assert!((fit.b - truth.b).abs() < 0.02);
+        assert!((fit.det() - truth.det()).abs() < 0.04);
+        // The similarity model fits fewer inliers on sheared data at a
+        // tight tolerance.
+        let tight = RansacParams { inlier_tolerance: 1.5, ..RansacParams::default() };
+        let sim_v = verify_matches(&matches, &ref_kps, &query_kps, &tight);
+        let (_, aff_inliers) = verify_matches_affine(&matches, &ref_kps, &query_kps, &tight);
+        assert!(
+            aff_inliers.len() > sim_v.inlier_count(),
+            "affine {} vs similarity {}",
+            aff_inliers.len(),
+            sim_v.inlier_count()
+        );
+    }
+
+    #[test]
+    fn affine_needs_three_matches() {
+        let (matches, rk, qk) = planted(Similarity::identity(), 2, 0);
+        let (fit, inliers) = verify_matches_affine(&matches, &rk, &qk, &RansacParams::default());
+        assert_eq!(fit, Affine::identity());
+        assert!(inliers.is_empty());
+    }
+
+    #[test]
+    fn two_point_fit_recovers_rotation() {
+        // 90° rotation about origin: (x, y) → (−y, x).
+        let m = Similarity::from_two_points((1.0, 0.0), (0.0, 1.0), (0.0, 1.0), (-1.0, 0.0))
+            .unwrap();
+        assert!((m.scale() - 1.0).abs() < 1e-5);
+        assert!((m.rotation() - core::f32::consts::FRAC_PI_2).abs() < 1e-5);
+        let (x, y) = m.apply(2.0, 3.0);
+        assert!((x + 3.0).abs() < 1e-4 && (y - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn degenerate_points_rejected() {
+        assert!(Similarity::from_two_points((1.0, 1.0), (2.0, 2.0), (1.0, 1.0), (3.0, 3.0))
+            .is_none());
+    }
+
+    #[test]
+    fn ransac_recovers_planted_transform() {
+        let truth = Similarity { a: 0.95, b: 0.18, tx: 12.0, ty: -7.0 }; // ~10.7°, s≈0.967
+        let (matches, rk, qk) = planted(truth, 60, 40);
+        let v = verify_matches(&matches, &rk, &qk, &RansacParams::default());
+        assert!(v.inlier_count() >= 55, "found {} inliers", v.inlier_count());
+        assert!((v.transform.scale() - truth.scale()).abs() < 0.02);
+        assert!((v.transform.rotation() - truth.rotation()).abs() < 0.02);
+        // All recovered inliers must truly be inliers (first 60).
+        assert!(v.inliers.iter().all(|&i| i < 60));
+    }
+
+    #[test]
+    fn pure_outliers_give_few_inliers() {
+        let truth = Similarity::identity();
+        let (matches, rk, qk) = planted(truth, 0, 50);
+        let v = verify_matches(&matches, &rk, &qk, &RansacParams::default());
+        // Random correspondences support no consistent similarity.
+        assert!(v.inlier_count() <= 6, "{} spurious inliers", v.inlier_count());
+    }
+
+    #[test]
+    fn fewer_than_two_matches_degenerates() {
+        let (matches, rk, qk) = planted(Similarity::identity(), 1, 0);
+        let v = verify_matches(&matches, &rk, &qk, &RansacParams::default());
+        assert_eq!(v.inlier_count(), 0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let truth = Similarity { a: 1.02, b: -0.08, tx: 3.0, ty: 4.0 };
+        let (matches, rk, qk) = planted(truth, 30, 30);
+        let a = verify_matches(&matches, &rk, &qk, &RansacParams::default());
+        let b = verify_matches(&matches, &rk, &qk, &RansacParams::default());
+        assert_eq!(a.inliers, b.inliers);
+    }
+
+    #[test]
+    fn wild_scales_rejected() {
+        // A model implying 10× zoom must not be accepted even if two points
+        // support it: plant mostly identity, two 10×-scale-consistent pairs.
+        let (mut matches, mut rk, mut qk) = planted(Similarity::identity(), 20, 0);
+        rk.push(kp(1.0, 0.0));
+        qk.push(kp(10.0, 0.0));
+        matches.push(FeatureMatch { query_idx: 20, ref_idx: 20, d1: 0.1, d2: 1.0 });
+        rk.push(kp(2.0, 0.0));
+        qk.push(kp(20.0, 0.0));
+        matches.push(FeatureMatch { query_idx: 21, ref_idx: 21, d1: 0.1, d2: 1.0 });
+        let v = verify_matches(&matches, &rk, &qk, &RansacParams::default());
+        assert!((v.transform.scale() - 1.0).abs() < 0.05, "scale {}", v.transform.scale());
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests for the matching engines: all algorithm variants
+//! must agree on nearest neighbours for arbitrary unit-norm features, and
+//! the batched path must equal the sequential one.
+
+use proptest::prelude::*;
+use texid_gpu::{DeviceSpec, GpuSim, Precision};
+use texid_knn::{match_batch, match_pair, Algorithm, FeatureBlock, MatchConfig};
+use texid_linalg::Mat;
+
+/// Unit-norm feature matrix from a seed.
+fn unit_features(d: usize, cols: usize, seed: u64) -> Mat {
+    let mut state = seed | 1;
+    let mut m = Mat::from_fn(d, cols, |_, _| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 40) & 0xffff) as f32 / 65535.0 + 1e-4
+    });
+    for c in 0..cols {
+        let norm: f32 = m.col(c).iter().map(|v| v * v).sum::<f32>().sqrt();
+        for v in m.col_mut(c) {
+            *v /= norm;
+        }
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn algorithms_agree_on_nearest_neighbour(
+        d in 4usize..48,
+        m in 2usize..24,
+        n in 1usize..16,
+        seed in any::<u64>(),
+    ) {
+        let r = unit_features(d, m, seed);
+        let q = unit_features(d, n, seed.wrapping_add(1));
+        let mut sim = GpuSim::new(DeviceSpec::tesla_p100());
+        let st = sim.default_stream();
+
+        let run = |alg: Algorithm, sim: &mut GpuSim| {
+            let cfg = MatchConfig { algorithm: alg, precision: Precision::F32, ..MatchConfig::default() };
+            match_pair(&cfg, &FeatureBlock::F32(r.clone()), &FeatureBlock::F32(q.clone()), sim, st)
+        };
+        let base = run(Algorithm::OpenCvCuda, &mut sim);
+        for alg in [Algorithm::CublasFullSort, Algorithm::CublasTop2, Algorithm::RootSiftTop2] {
+            let out = run(alg, &mut sim);
+            for (j, (a, b)) in base.top2.iter().zip(&out.top2).enumerate() {
+                // Nearest index can only differ on exact distance ties.
+                if a.idx != b.idx {
+                    prop_assert!((a.d1 - b.d1).abs() < 1e-3, "{alg:?} col {j}");
+                }
+                prop_assert!((a.d1 - b.d1).abs() < 2e-3, "{alg:?} col {j}: {} vs {}", a.d1, b.d1);
+                prop_assert!((a.d2 - b.d2).abs() < 2e-3, "{alg:?} col {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn distances_are_valid_metrics(
+        d in 4usize..32,
+        m in 2usize..16,
+        seed in any::<u64>(),
+    ) {
+        // Self-match: d1 = 0 at the identical column; all distances in
+        // [0, 2] for unit vectors.
+        let r = unit_features(d, m, seed);
+        let mut sim = GpuSim::new(DeviceSpec::tesla_p100());
+        let st = sim.default_stream();
+        let cfg = MatchConfig { precision: Precision::F32, ..MatchConfig::default() };
+        let out = match_pair(
+            &cfg,
+            &FeatureBlock::F32(r.clone()),
+            &FeatureBlock::F32(r.clone()),
+            &mut sim,
+            st,
+        );
+        for (j, t) in out.top2.iter().enumerate() {
+            prop_assert!(t.d1 <= t.d2 + 1e-6);
+            prop_assert!(t.d1 >= 0.0 && t.d1 < 2.1);
+            prop_assert!(t.d1 < 2e-3, "col {j}: self-distance {}", t.d1);
+        }
+    }
+
+    #[test]
+    fn batched_equals_sequential(
+        d in 4usize..32,
+        m_per in 2usize..10,
+        batch in 1usize..5,
+        n in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let refs: Vec<Mat> =
+            (0..batch).map(|i| unit_features(d, m_per, seed.wrapping_add(i as u64 * 7))).collect();
+        let q = unit_features(d, n, seed.wrapping_add(999));
+        let mut sim = GpuSim::new(DeviceSpec::tesla_p100());
+        let st = sim.default_stream();
+        let cfg = MatchConfig { precision: Precision::F32, ..MatchConfig::default() };
+
+        let blocks: Vec<FeatureBlock> = refs.iter().map(|m| FeatureBlock::F32(m.clone())).collect();
+        let views: Vec<&FeatureBlock> = blocks.iter().collect();
+        let cat = FeatureBlock::hconcat(&views);
+        let qb = FeatureBlock::F32(q.clone());
+        let batched = match_batch(&cfg, &cat, batch, m_per, &qb, &mut sim, st);
+
+        for (b, block) in blocks.iter().enumerate() {
+            let pair = match_pair(&cfg, block, &qb, &mut sim, st);
+            prop_assert_eq!(batched.scores[b], pair.score(), "block {}", b);
+            for (j, t) in pair.top2.iter().enumerate() {
+                let bt = &batched.top2[b * n + j];
+                prop_assert_eq!(bt.idx, t.idx, "block {} col {}", b, j);
+                prop_assert!((bt.d1 - t.d1).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn fp16_preserves_nearest_for_well_separated_features(
+        d in 16usize..64,
+        m in 2usize..16,
+        seed in any::<u64>(),
+    ) {
+        // Querying with the references themselves: the nearest neighbour
+        // (distance 0) must survive FP16 quantization.
+        let r = unit_features(d, m, seed);
+        let scale = 2.0_f32.powi(-7) * 512.0;
+        let mut sim = GpuSim::new(DeviceSpec::tesla_p100());
+        let st = sim.default_stream();
+        let cfg = MatchConfig { precision: Precision::F16, scale, ..MatchConfig::default() };
+        let rb = FeatureBlock::from_mat(r.clone(), Precision::F16, scale);
+        let out = match_pair(&cfg, &rb, &rb.clone(), &mut sim, st);
+        for (j, t) in out.top2.iter().enumerate() {
+            prop_assert_eq!(t.idx as usize, j, "col {} self-match lost under FP16", j);
+            prop_assert!(t.d1 < 0.05, "col {}: {}", j, t.d1);
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! `AᵀB` general matrix multiplication — the functional core of the paper's
+//! cuBLAS reformulation of the similarity matrix (`A = −2·RᵀQ`, Eq. 1).
+//!
+//! Both operands are column-major `d × *` feature matrices, so `AᵀB` is a grid
+//! of dot products between contiguous columns. Parallelism is over output
+//! columns (rayon), with an inner blocking over reference columns for cache
+//! locality; the dot-product kernel uses four independent accumulators to let
+//! the compiler vectorize.
+
+use crate::f16::F16;
+use crate::mat::{Mat, MatF16};
+use rayon::prelude::*;
+
+/// Dot product of two equal-length slices with 4-way unrolling.
+#[inline]
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let chunks = a.len() / 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0, 0.0, 0.0);
+    for i in 0..chunks {
+        let j = i * 4;
+        s0 += a[j] * b[j];
+        s1 += a[j + 1] * b[j + 1];
+        s2 += a[j + 2] * b[j + 2];
+        s3 += a[j + 3] * b[j + 3];
+    }
+    let mut tail = 0.0;
+    for j in chunks * 4..a.len() {
+        tail += a[j] * b[j];
+    }
+    (s0 + s1) + (s2 + s3) + tail
+}
+
+/// Compute `C = alpha · AᵀB`, where `A` is `d × m`, `B` is `d × n`, and the
+/// result is `m × n` (column-major).
+///
+/// # Panics
+/// Panics if the inner dimensions (`rows`) differ.
+pub fn gemm_at_b(alpha: f32, a: &Mat, b: &Mat) -> Mat {
+    assert_eq!(a.rows(), b.rows(), "AᵀB requires equal row counts (d)");
+    let m = a.cols();
+    let n = b.cols();
+    let d = a.rows();
+    let mut c = Mat::zeros(m, n);
+    if m == 0 || n == 0 {
+        return c;
+    }
+
+    // One output column per parallel task: column j of C depends only on
+    // B.col(j) and the whole of A.
+    c.as_mut_slice()
+        .par_chunks_mut(m)
+        .enumerate()
+        .for_each(|(j, col)| {
+            let bj = &b.as_slice()[j * d..(j + 1) * d];
+            for (i, out) in col.iter_mut().enumerate() {
+                let ai = &a.as_slice()[i * d..(i + 1) * d];
+                *out = alpha * dot(ai, bj);
+            }
+        });
+    c
+}
+
+/// Convenience wrapper for the paper's `A = −2·RᵀQ` (Algorithm 1 step 3 /
+/// Algorithm 2 step 1).
+pub fn neg2_at_b(r: &Mat, q: &Mat) -> Mat {
+    gemm_at_b(-2.0, r, q)
+}
+
+/// Half-precision `C = alpha · AᵀB` with f32 accumulation, mirroring HGEMM on
+/// tensor cores (f16 operands, f32 accumulate). Output stays in f32, matching
+/// the cuBLAS `CUBLAS_COMPUTE_32F` path the paper relies on for accuracy.
+///
+/// # Panics
+/// Panics if the inner dimensions differ.
+pub fn gemm_at_b_f16(alpha: f32, a: &MatF16, b: &MatF16) -> Mat {
+    assert_eq!(a.rows(), b.rows(), "AᵀB requires equal row counts (d)");
+    let m = a.cols();
+    let n = b.cols();
+    let d = a.rows();
+    let mut c = Mat::zeros(m, n);
+    if m == 0 || n == 0 {
+        return c;
+    }
+
+    c.as_mut_slice()
+        .par_chunks_mut(m)
+        .enumerate()
+        .for_each(|(j, col)| {
+            // Widen the query column once per output column.
+            let bj: Vec<f32> = b.as_slice()[j * d..(j + 1) * d]
+                .iter()
+                .map(|v| v.to_f32())
+                .collect();
+            let mut ai_f32 = vec![0.0f32; d];
+            for (i, out) in col.iter_mut().enumerate() {
+                let ai: &[F16] = &a.as_slice()[i * d..(i + 1) * d];
+                for (dst, src) in ai_f32.iter_mut().zip(ai) {
+                    *dst = src.to_f32();
+                }
+                *out = alpha * dot(&ai_f32, &bj);
+            }
+        });
+    c
+}
+
+/// FP16 variant of [`neg2_at_b`]. The caller is responsible for having scaled
+/// the operands; the result of `−2·RᵀQ` then carries a `scale²` factor that
+/// downstream code must undo (see `texid-knn`).
+pub fn neg2_at_b_f16(r: &MatF16, q: &MatF16) -> Mat {
+    gemm_at_b_f16(-2.0, r, q)
+}
+
+/// Half-precision GEMM with **FP16 accumulation** (`CUBLAS_COMPUTE_16F`):
+/// every partial sum is narrowed back to f16, so large operand scales
+/// overflow exactly as they do on device — the failure mode the paper's
+/// Table 2 scale-factor study probes. Returns the (widened) result and
+/// whether any accumulator overflowed to ±∞.
+///
+/// # Panics
+/// Panics if the inner dimensions differ.
+pub fn gemm_at_b_f16acc(alpha: f32, a: &MatF16, b: &MatF16) -> (Mat, bool) {
+    assert_eq!(a.rows(), b.rows(), "AᵀB requires equal row counts (d)");
+    let m = a.cols();
+    let n = b.cols();
+    let d = a.rows();
+    let mut c = Mat::zeros(m, n);
+    if m == 0 || n == 0 {
+        return (c, false);
+    }
+    let overflow = std::sync::atomic::AtomicBool::new(false);
+    c.as_mut_slice()
+        .par_chunks_mut(m)
+        .enumerate()
+        .for_each(|(j, col)| {
+            let bj: &[F16] = &b.as_slice()[j * d..(j + 1) * d];
+            for (i, out) in col.iter_mut().enumerate() {
+                let ai: &[F16] = &a.as_slice()[i * d..(i + 1) * d];
+                let mut acc = F16::ZERO;
+                for (x, y) in ai.iter().zip(bj) {
+                    let prod = F16::from_f32(x.to_f32() * y.to_f32());
+                    acc = F16::from_f32(acc.to_f32() + prod.to_f32());
+                }
+                let scaled = F16::from_f32(alpha * acc.to_f32());
+                if scaled.is_infinite() || acc.is_infinite() {
+                    overflow.store(true, std::sync::atomic::Ordering::Relaxed);
+                }
+                *out = scaled.to_f32();
+            }
+        });
+    (c, overflow.load(std::sync::atomic::Ordering::Relaxed))
+}
+
+/// Naive reference implementation used by tests.
+pub fn gemm_at_b_naive(alpha: f32, a: &Mat, b: &Mat) -> Mat {
+    assert_eq!(a.rows(), b.rows());
+    Mat::from_fn(a.cols(), b.cols(), |i, j| {
+        let mut s = 0.0;
+        for k in 0..a.rows() {
+            s += a.get(k, i) * b.get(k, j);
+        }
+        alpha * s
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat_seq(rows: usize, cols: usize, start: f32) -> Mat {
+        Mat::from_fn(rows, cols, |r, c| start + (r * cols + c) as f32 * 0.1)
+    }
+
+    #[test]
+    fn matches_naive_small() {
+        let a = mat_seq(4, 3, 1.0);
+        let b = mat_seq(4, 5, -2.0);
+        let fast = gemm_at_b(1.0, &a, &b);
+        let slow = gemm_at_b_naive(1.0, &a, &b);
+        assert!(fast.max_abs_diff(&slow) < 1e-4);
+    }
+
+    #[test]
+    fn matches_naive_odd_dims() {
+        // Exercises the non-multiple-of-4 dot-product tail.
+        let a = mat_seq(7, 5, 0.3);
+        let b = mat_seq(7, 2, 0.7);
+        let fast = gemm_at_b(-2.0, &a, &b);
+        let slow = gemm_at_b_naive(-2.0, &a, &b);
+        assert!(fast.max_abs_diff(&slow) < 1e-4);
+    }
+
+    #[test]
+    fn identity_against_hand_computed() {
+        // A = [[1],[0]], B = [[3],[4]] (d=2, m=1, n=1): AᵀB = 3.
+        let a = Mat::from_col_major(2, 1, vec![1.0, 0.0]);
+        let b = Mat::from_col_major(2, 1, vec![3.0, 4.0]);
+        assert_eq!(gemm_at_b(1.0, &a, &b).get(0, 0), 3.0);
+        assert_eq!(neg2_at_b(&a, &b).get(0, 0), -6.0);
+    }
+
+    #[test]
+    fn f16_close_to_f32_for_unit_scale_data() {
+        let a = mat_seq(8, 6, 0.01);
+        let b = mat_seq(8, 4, 0.02);
+        let f32_res = gemm_at_b(-2.0, &a, &b);
+        let f16_res = gemm_at_b_f16(-2.0, &a.to_f16_scaled(1.0), &b.to_f16_scaled(1.0));
+        // f16 has ~3 decimal digits; these small values stay close.
+        assert!(f32_res.max_abs_diff(&f16_res) < 0.05);
+    }
+
+    #[test]
+    fn f16_scale_squared_semantics() {
+        // With operands scaled by s, AᵀB carries s².
+        let a = Mat::from_col_major(2, 1, vec![1.0, 2.0]);
+        let b = Mat::from_col_major(2, 1, vec![3.0, 4.0]);
+        let s = 0.25f32;
+        let scaled = gemm_at_b_f16(1.0, &a.to_f16_scaled(s), &b.to_f16_scaled(s));
+        let unscaled = gemm_at_b(1.0, &a, &b);
+        assert!((scaled.get(0, 0) / (s * s) - unscaled.get(0, 0)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn f16acc_overflow_detection() {
+        // Unit-norm-ish columns scaled hugely: the f16 accumulator blows up.
+        let a = Mat::from_col_major(4, 1, vec![200.0, 200.0, 200.0, 200.0]);
+        let b = a.clone();
+        let (_, overflowed) = gemm_at_b_f16acc(-2.0, &a.to_f16_scaled(1.0), &b.to_f16_scaled(1.0));
+        assert!(overflowed, "4x200^2 = 160k > 65504 must overflow");
+        // Small values stay finite and accurate.
+        let a = Mat::from_col_major(4, 1, vec![0.5, 0.5, 0.5, 0.5]);
+        let (c, overflowed) = gemm_at_b_f16acc(-2.0, &a.to_f16_scaled(1.0), &a.to_f16_scaled(1.0));
+        assert!(!overflowed);
+        assert!((c.get(0, 0) + 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn f16acc_close_to_f32_for_small_values() {
+        let a = mat_seq(8, 3, 0.01);
+        let b = mat_seq(8, 2, 0.02);
+        let (c16, ov) = gemm_at_b_f16acc(1.0, &a.to_f16_scaled(1.0), &b.to_f16_scaled(1.0));
+        assert!(!ov);
+        let c32 = gemm_at_b(1.0, &a, &b);
+        assert!(c32.max_abs_diff(&c16) < 0.1);
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        let a = Mat::zeros(4, 0);
+        let b = Mat::zeros(4, 3);
+        let c = gemm_at_b(1.0, &a, &b);
+        assert_eq!(c.rows(), 0);
+        assert_eq!(c.cols(), 3);
+    }
+
+    #[test]
+    fn sift_sized_shapes() {
+        // d=128, m and n as in the paper (scaled down 8× for test runtime).
+        // Values kept small so the summation-order difference between the
+        // unrolled and naive kernels stays within a tight absolute bound.
+        let a = Mat::from_fn(128, 96, |r, c| ((r * 96 + c) % 251) as f32 * 1e-3);
+        let b = Mat::from_fn(128, 96, |r, c| ((r * 96 + c) % 199) as f32 * 1e-3);
+        let fast = gemm_at_b(-2.0, &a, &b);
+        let slow = gemm_at_b_naive(-2.0, &a, &b);
+        assert!(fast.max_abs_diff(&slow) < 1e-3);
+    }
+}

@@ -1,0 +1,340 @@
+//! Column-major matrix containers.
+//!
+//! Feature matrices in the paper are `d × m` with one local feature per
+//! column, so a column-major layout makes every descriptor a contiguous
+//! slice — the same layout cuBLAS consumes.
+
+use crate::f16::F16;
+
+/// A dense column-major `f32` matrix.
+///
+/// Element `(r, c)` lives at `data[c * rows + r]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Mat {
+    /// Create a zero-filled `rows × cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Build from a column-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_col_major(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "column-major data length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Build from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for c in 0..cols {
+            for r in 0..rows {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total element count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[c * self.rows + r]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[c * self.rows + r] = v;
+    }
+
+    /// Contiguous column slice.
+    #[inline]
+    pub fn col(&self, c: usize) -> &[f32] {
+        let start = c * self.rows;
+        &self.data[start..start + self.rows]
+    }
+
+    /// Mutable contiguous column slice.
+    #[inline]
+    pub fn col_mut(&mut self, c: usize) -> &mut [f32] {
+        let start = c * self.rows;
+        &mut self.data[start..start + self.rows]
+    }
+
+    /// Underlying column-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable underlying storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume into the underlying storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Horizontally concatenate matrices with identical row counts
+    /// (the paper's reference-matrix *batching*: `[R₁ R₂ … R_B]`).
+    ///
+    /// # Panics
+    /// Panics if row counts differ or the input is empty.
+    pub fn hconcat(mats: &[&Mat]) -> Mat {
+        assert!(!mats.is_empty(), "hconcat of zero matrices");
+        let rows = mats[0].rows;
+        assert!(
+            mats.iter().all(|m| m.rows == rows),
+            "hconcat requires identical row counts"
+        );
+        let cols: usize = mats.iter().map(|m| m.cols).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for m in mats {
+            data.extend_from_slice(&m.data);
+        }
+        Mat { rows, cols, data }
+    }
+
+    /// Convert to half precision after multiplying by `scale`
+    /// (the paper's overflow-avoiding scale factor, §4.2).
+    pub fn to_f16_scaled(&self, scale: f32) -> MatF16 {
+        MatF16 {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| F16::from_f32(v * scale)).collect(),
+        }
+    }
+
+    /// Size in bytes of the f32 payload.
+    pub fn size_bytes(&self) -> usize {
+        self.data.len() * core::mem::size_of::<f32>()
+    }
+
+    /// Maximum absolute elementwise difference against `other`.
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn max_abs_diff(&self, other: &Mat) -> f32 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+/// A dense column-major half-precision matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MatF16 {
+    rows: usize,
+    cols: usize,
+    data: Vec<F16>,
+}
+
+impl MatF16 {
+    /// Create a zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![F16::ZERO; rows * cols] }
+    }
+
+    /// Build from a column-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_col_major(rows: usize, cols: usize, data: Vec<F16>) -> Self {
+        assert_eq!(data.len(), rows * cols, "column-major data length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Contiguous column slice.
+    #[inline]
+    pub fn col(&self, c: usize) -> &[F16] {
+        let start = c * self.rows;
+        &self.data[start..start + self.rows]
+    }
+
+    /// Underlying storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[F16] {
+        &self.data
+    }
+
+    /// Widen back to f32, undoing `scale` (i.e. divides by it).
+    pub fn to_f32_unscaled(&self, scale: f32) -> Mat {
+        let inv = 1.0 / scale;
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|v| v.to_f32() * inv).collect(),
+        }
+    }
+
+    /// True if any stored element overflowed to ±∞ during conversion.
+    pub fn has_overflow(&self) -> bool {
+        self.data.iter().any(|v| v.is_infinite())
+    }
+
+    /// Horizontal concatenation (batched reference matrices, FP16 path).
+    ///
+    /// # Panics
+    /// Panics if row counts differ or the input is empty.
+    pub fn hconcat(mats: &[&MatF16]) -> MatF16 {
+        assert!(!mats.is_empty(), "hconcat of zero matrices");
+        let rows = mats[0].rows;
+        assert!(
+            mats.iter().all(|m| m.rows == rows),
+            "hconcat requires identical row counts"
+        );
+        let cols: usize = mats.iter().map(|m| m.cols).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for m in mats {
+            data.extend_from_slice(&m.data);
+        }
+        MatF16 { rows, cols, data }
+    }
+
+    /// Size in bytes of the f16 payload (half of the f32 equivalent).
+    pub fn size_bytes(&self) -> usize {
+        self.data.len() * core::mem::size_of::<u16>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_shape_and_contents() {
+        let m = Mat::zeros(3, 4);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn col_major_indexing() {
+        let m = Mat::from_col_major(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(1, 0), 2.0);
+        assert_eq!(m.get(0, 1), 3.0);
+        assert_eq!(m.get(1, 2), 6.0);
+        assert_eq!(m.col(1), &[3., 4.]);
+    }
+
+    #[test]
+    fn from_fn_matches_get() {
+        let m = Mat::from_fn(3, 2, |r, c| (r * 10 + c) as f32);
+        for r in 0..3 {
+            for c in 0..2 {
+                assert_eq!(m.get(r, c), (r * 10 + c) as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn set_then_get() {
+        let mut m = Mat::zeros(2, 2);
+        m.set(1, 0, 7.5);
+        assert_eq!(m.get(1, 0), 7.5);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn hconcat_batches_columns() {
+        let a = Mat::from_col_major(2, 1, vec![1., 2.]);
+        let b = Mat::from_col_major(2, 2, vec![3., 4., 5., 6.]);
+        let c = Mat::hconcat(&[&a, &b]);
+        assert_eq!(c.rows(), 2);
+        assert_eq!(c.cols(), 3);
+        assert_eq!(c.col(0), &[1., 2.]);
+        assert_eq!(c.col(2), &[5., 6.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical row counts")]
+    fn hconcat_rejects_mismatched_rows() {
+        let a = Mat::zeros(2, 1);
+        let b = Mat::zeros(3, 1);
+        let _ = Mat::hconcat(&[&a, &b]);
+    }
+
+    #[test]
+    fn f16_roundtrip_with_scale() {
+        let m = Mat::from_col_major(2, 2, vec![0.5, 1.0, 2.0, 100.0]);
+        let h = m.to_f16_scaled(0.125);
+        let back = h.to_f32_unscaled(0.125);
+        // These values are exactly representable after scaling.
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn f16_overflow_detection() {
+        let m = Mat::from_col_major(1, 1, vec![1.0e6]);
+        assert!(m.to_f16_scaled(1.0).has_overflow());
+        assert!(!m.to_f16_scaled(2.0_f32.powi(-7)).has_overflow());
+    }
+
+    #[test]
+    fn size_bytes_halves_in_f16() {
+        let m = Mat::zeros(128, 768);
+        let h = m.to_f16_scaled(1.0);
+        assert_eq!(m.size_bytes(), 128 * 768 * 4);
+        assert_eq!(h.size_bytes(), 128 * 768 * 2);
+    }
+
+    #[test]
+    fn max_abs_diff_basic() {
+        let a = Mat::from_col_major(1, 2, vec![1.0, 2.0]);
+        let b = Mat::from_col_major(1, 2, vec![1.5, 2.0]);
+        assert_eq!(a.max_abs_diff(&b), 0.5);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use proptest::prelude::*;
+use texid_linalg::f16::F16;
+use texid_linalg::gemm::{gemm_at_b, gemm_at_b_naive};
+use texid_linalg::mat::Mat;
+use texid_linalg::norms::{add_row_norms, col_sq_norms};
+use texid_linalg::top2::{sort_columns, top2_min_per_column, top2_min_per_column_blocked};
+
+fn mat_strategy(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Mat> {
+    (2..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-100.0f32..100.0, r * c)
+            .prop_map(move |data| Mat::from_col_major(r, c, data))
+    })
+}
+
+proptest! {
+    #[test]
+    fn gemm_matches_naive(
+        d in 1usize..24, m in 1usize..12, n in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        };
+        let a = Mat::from_fn(d, m, |_, _| next());
+        let b = Mat::from_fn(d, n, |_, _| next());
+        let fast = gemm_at_b(-2.0, &a, &b);
+        let slow = gemm_at_b_naive(-2.0, &a, &b);
+        prop_assert!(fast.max_abs_diff(&slow) < 1e-3);
+    }
+
+    #[test]
+    fn top2_equals_sorted_prefix(a in mat_strategy(24, 8)) {
+        let top = top2_min_per_column(&a);
+        let (sorted, idx) = sort_columns(&a);
+        for j in 0..a.cols() {
+            prop_assert_eq!(top[j].d1, sorted.get(0, j));
+            prop_assert_eq!(top[j].d2, sorted.get(1, j));
+            prop_assert_eq!(top[j].idx, idx[j]);
+            prop_assert!(top[j].d1 <= top[j].d2);
+        }
+    }
+
+    #[test]
+    fn blocked_top2_consistent(
+        m_per in 2usize..8, batch in 1usize..5, n in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            ((state >> 33) as f32) * 1e-6
+        };
+        let a = Mat::from_fn(batch * m_per, n, |_, _| next());
+        let blocked = top2_min_per_column_blocked(&a, batch, m_per);
+        for b in 0..batch {
+            // Each block result must equal a plain top-2 on the extracted block.
+            let sub = Mat::from_fn(m_per, n, |r, c| a.get(b * m_per + r, c));
+            let plain = top2_min_per_column(&sub);
+            for j in 0..n {
+                prop_assert_eq!(blocked[b * n + j], plain[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn f16_roundtrip_error_bounded(v in -60000.0f32..60000.0) {
+        let h = F16::from_f32(v);
+        prop_assert!(!h.is_nan());
+        let back = h.to_f32();
+        // Relative error bounded by half an ulp: 2^-11, plus underflow slack.
+        let tol = (v.abs() * 2.0_f32.powi(-11)).max(2.0_f32.powi(-25));
+        prop_assert!((back - v).abs() <= tol, "{} -> {}", v, back);
+    }
+
+    #[test]
+    fn f16_conversion_monotone(a in -60000.0f32..60000.0, b in -60000.0f32..60000.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(F16::from_f32(lo).to_f32() <= F16::from_f32(hi).to_f32());
+    }
+
+    #[test]
+    fn norms_nonnegative_and_exact_for_units(a in mat_strategy(16, 6)) {
+        let norms = col_sq_norms(&a);
+        prop_assert_eq!(norms.len(), a.cols());
+        for (j, &nv) in norms.iter().enumerate() {
+            prop_assert!(nv >= 0.0);
+            let manual: f32 = a.col(j).iter().map(|x| x * x).sum();
+            prop_assert!((nv - manual).abs() <= manual.abs() * 1e-5 + 1e-5);
+        }
+    }
+
+    #[test]
+    fn add_row_norms_shifts_rows(a in mat_strategy(8, 4)) {
+        let n_r: Vec<f32> = (0..a.rows()).map(|i| i as f32 * 10.0).collect();
+        let mut shifted = a.clone();
+        add_row_norms(&mut shifted, &n_r);
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                prop_assert_eq!(shifted.get(i, j), a.get(i, j) + n_r[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn hconcat_preserves_columns(
+        a in mat_strategy(6, 4),
+        extra_cols in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 40) as f32
+        };
+        let b = Mat::from_fn(a.rows(), extra_cols, |_, _| next());
+        let cat = Mat::hconcat(&[&a, &b]);
+        prop_assert_eq!(cat.cols(), a.cols() + extra_cols);
+        for j in 0..a.cols() {
+            prop_assert_eq!(cat.col(j), a.col(j));
+        }
+        for j in 0..extra_cols {
+            prop_assert_eq!(cat.col(a.cols() + j), b.col(j));
+        }
+    }
+}

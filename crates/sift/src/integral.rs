@@ -1,0 +1,128 @@
+//! Integral images — the substrate SURF's box filters run on.
+//!
+//! `ii(x, y) = Σ_{u<x, v<y} I(u, v)` with the usual one-pixel offset
+//! convention, so any axis-aligned box sum is four lookups.
+
+use texid_image::GrayImage;
+
+/// Summed-area table over a grayscale image (f64 accumulation: a 512²
+/// image of unit pixels already exceeds f32's exact-integer range).
+pub struct IntegralImage {
+    width: usize,
+    height: usize,
+    /// `(width + 1) × (height + 1)` table, row-major.
+    data: Vec<f64>,
+}
+
+impl IntegralImage {
+    /// Build from an image.
+    pub fn build(im: &GrayImage) -> IntegralImage {
+        let w = im.width();
+        let h = im.height();
+        let stride = w + 1;
+        let mut data = vec![0.0f64; stride * (h + 1)];
+        for y in 0..h {
+            let mut row_sum = 0.0f64;
+            for x in 0..w {
+                row_sum += im.get(x, y) as f64;
+                data[(y + 1) * stride + (x + 1)] = data[y * stride + (x + 1)] + row_sum;
+            }
+        }
+        IntegralImage { width: w, height: h, data }
+    }
+
+    /// Source image width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Source image height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Sum over the rectangle `[x0, x1) × [y0, y1)`, clamped to the image.
+    pub fn box_sum(&self, x0: isize, y0: isize, x1: isize, y1: isize) -> f64 {
+        let cx0 = x0.clamp(0, self.width as isize) as usize;
+        let cy0 = y0.clamp(0, self.height as isize) as usize;
+        let cx1 = x1.clamp(0, self.width as isize) as usize;
+        let cy1 = y1.clamp(0, self.height as isize) as usize;
+        if cx1 <= cx0 || cy1 <= cy0 {
+            return 0.0;
+        }
+        let stride = self.width + 1;
+        let a = self.data[cy0 * stride + cx0];
+        let b = self.data[cy0 * stride + cx1];
+        let c = self.data[cy1 * stride + cx0];
+        let d = self.data[cy1 * stride + cx1];
+        d - b - c + a
+    }
+
+    /// Haar wavelet response in x at `(cx, cy)` with filter size `s`
+    /// (right half minus left half).
+    pub fn haar_x(&self, cx: isize, cy: isize, s: isize) -> f64 {
+        let half = s / 2;
+        self.box_sum(cx, cy - half, cx + half, cy + half)
+            - self.box_sum(cx - half, cy - half, cx, cy + half)
+    }
+
+    /// Haar wavelet response in y at `(cx, cy)` with filter size `s`
+    /// (bottom half minus top half).
+    pub fn haar_y(&self, cx: isize, cy: isize, s: isize) -> f64 {
+        let half = s / 2;
+        self.box_sum(cx - half, cy, cx + half, cy + half)
+            - self.box_sum(cx - half, cy - half, cx + half, cy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_sum_matches_naive() {
+        let im = GrayImage::from_fn(7, 5, |x, y| (x * 5 + y * 3) as f32 * 0.1);
+        let ii = IntegralImage::build(&im);
+        for (x0, y0, x1, y1) in [(0, 0, 7, 5), (1, 1, 4, 3), (2, 0, 3, 5), (0, 2, 7, 3)] {
+            let mut naive = 0.0f64;
+            for y in y0..y1 {
+                for x in x0..x1 {
+                    naive += im.get(x, y) as f64;
+                }
+            }
+            let fast = ii.box_sum(x0 as isize, y0 as isize, x1 as isize, y1 as isize);
+            assert!((fast - naive).abs() < 1e-9, "({x0},{y0},{x1},{y1}): {fast} vs {naive}");
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_clamped() {
+        let im = GrayImage::filled(4, 4, 1.0);
+        let ii = IntegralImage::build(&im);
+        assert_eq!(ii.box_sum(-10, -10, 100, 100), 16.0);
+        assert_eq!(ii.box_sum(2, 2, 2, 5), 0.0); // empty
+        assert_eq!(ii.box_sum(3, 3, -1, -1), 0.0); // inverted
+    }
+
+    #[test]
+    fn haar_responses_on_gradients() {
+        // Intensity ramp along +x: haar_x positive, haar_y ~0.
+        let im = GrayImage::from_fn(32, 32, |x, _| x as f32 * 0.03);
+        let ii = IntegralImage::build(&im);
+        assert!(ii.haar_x(16, 16, 8) > 0.1);
+        assert!(ii.haar_y(16, 16, 8).abs() < 1e-9);
+        // Ramp along +y: the reverse.
+        let im = GrayImage::from_fn(32, 32, |_, y| y as f32 * 0.03);
+        let ii = IntegralImage::build(&im);
+        assert!(ii.haar_y(16, 16, 8) > 0.1);
+        assert!(ii.haar_x(16, 16, 8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_image_has_zero_haar() {
+        let im = GrayImage::filled(16, 16, 0.5);
+        let ii = IntegralImage::build(&im);
+        assert_eq!(ii.haar_x(8, 8, 6), 0.0);
+        assert_eq!(ii.haar_y(8, 8, 6), 0.0);
+    }
+}

@@ -1,0 +1,60 @@
+//! SIFT keypoint representation.
+
+/// A detected scale-space keypoint.
+///
+/// Positions (`x`, `y`) and `sigma` are in **original-image** coordinates;
+/// `octave`/`interval` record where in the pyramid the point was found (the
+/// descriptor is computed there), with `oct_x`/`oct_y` the octave-local
+/// position.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Keypoint {
+    /// Sub-pixel x in the original image.
+    pub x: f32,
+    /// Sub-pixel y in the original image.
+    pub y: f32,
+    /// Characteristic scale (Gaussian sigma) in original-image units.
+    pub sigma: f32,
+    /// Dominant gradient orientation, radians in `(-π, π]`.
+    pub orientation: f32,
+    /// Detection strength: |DoG| at the refined extremum. Asymmetric
+    /// extraction keeps the top-m keypoints by this value.
+    pub response: f32,
+    /// Pyramid octave index (0 = full resolution).
+    pub octave: usize,
+    /// Refined (fractional) interval within the octave.
+    pub interval: f32,
+    /// Octave-local sub-pixel x.
+    pub oct_x: f32,
+    /// Octave-local sub-pixel y.
+    pub oct_y: f32,
+}
+
+impl Keypoint {
+    /// Scale of this keypoint measured in its own octave's pixel grid.
+    pub fn octave_sigma(&self, sigma0: f32, intervals: usize) -> f32 {
+        sigma0 * 2.0_f32.powf(self.interval / intervals as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn octave_sigma_scales_exponentially() {
+        let kp = Keypoint {
+            x: 0.0,
+            y: 0.0,
+            sigma: 1.6,
+            orientation: 0.0,
+            response: 1.0,
+            octave: 0,
+            interval: 0.0,
+            oct_x: 0.0,
+            oct_y: 0.0,
+        };
+        assert!((kp.octave_sigma(1.6, 3) - 1.6).abs() < 1e-6);
+        let kp3 = Keypoint { interval: 3.0, ..kp };
+        assert!((kp3.octave_sigma(1.6, 3) - 3.2).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,198 @@
+//! Gaussian scale space and difference-of-Gaussians pyramid.
+//!
+//! Standard Lowe construction: `intervals + 3` Gaussian images per octave
+//! with `σ(i) = σ₀ · k^i`, `k = 2^(1/intervals)`; each next level blurs the
+//! previous one incrementally by `√(σ(i)² − σ(i−1)²)`; the next octave starts
+//! from the level carrying `2σ₀`, decimated by two. DoG levels are adjacent
+//! Gaussian differences.
+
+use texid_image::filter::{downsample_half, gaussian_blur, subtract};
+use texid_image::GrayImage;
+
+/// One octave: the Gaussian stack and its DoG stack.
+pub struct Octave {
+    /// `intervals + 3` progressively blurred images (same resolution).
+    pub gaussians: Vec<GrayImage>,
+    /// `intervals + 2` difference images.
+    pub dogs: Vec<GrayImage>,
+}
+
+/// The whole pyramid.
+pub struct Pyramid {
+    /// Octaves, index 0 at the *working* base resolution (which is 2× the
+    /// input when `first_octave == -1`).
+    pub octaves: Vec<Octave>,
+    /// Base blur sigma (σ₀).
+    pub sigma0: f32,
+    /// Scale samples per octave doubling.
+    pub intervals: usize,
+    /// −1 when the input was doubled first (Lowe's extra octave, which
+    /// roughly quadruples the keypoint yield), 0 otherwise.
+    pub first_octave: i32,
+}
+
+impl Pyramid {
+    /// Build a pyramid with `n_octaves` octaves (clamped so the smallest
+    /// octave stays at least 16 px) and `intervals` scales per octave.
+    ///
+    /// `assumed_blur` is the blur already present in the input (camera +
+    /// resampling); Lowe uses 0.5.
+    pub fn build(
+        image: &GrayImage,
+        n_octaves: usize,
+        intervals: usize,
+        sigma0: f32,
+        assumed_blur: f32,
+    ) -> Pyramid {
+        Self::build_inner(image, n_octaves, intervals, sigma0, assumed_blur, 0)
+    }
+
+    /// Build with Lowe's initial 2× upscale (octave −1): the input is
+    /// bilinearly doubled (which doubles its assumed blur) before the
+    /// pyramid is constructed. Keypoint coordinates reported by the
+    /// detector remain in *original-image* units.
+    pub fn build_upscaled(
+        image: &GrayImage,
+        n_octaves: usize,
+        intervals: usize,
+        sigma0: f32,
+        assumed_blur: f32,
+    ) -> Pyramid {
+        let doubled = crate::pyramid::upscale2(image);
+        Self::build_inner(&doubled, n_octaves, intervals, sigma0, assumed_blur * 2.0, -1)
+    }
+
+    fn build_inner(
+        image: &GrayImage,
+        n_octaves: usize,
+        intervals: usize,
+        sigma0: f32,
+        assumed_blur: f32,
+        first_octave: i32,
+    ) -> Pyramid {
+        assert!(intervals >= 1, "need at least one interval");
+        assert!(sigma0 > assumed_blur, "sigma0 must exceed the assumed input blur");
+
+        let min_dim = image.width().min(image.height());
+        let max_octaves = if min_dim < 32 {
+            1
+        } else {
+            // Stop while the octave still has ≥ 16 px on a side.
+            ((min_dim as f32 / 16.0).log2().floor() as usize) + 1
+        };
+        let n_octaves = n_octaves.clamp(1, max_octaves);
+
+        let k = 2.0_f32.powf(1.0 / intervals as f32);
+        // Incremental blur from level i−1 to level i, identical per octave.
+        let inc: Vec<f32> = (1..intervals + 3)
+            .map(|i| {
+                let prev = sigma0 * k.powi(i as i32 - 1);
+                let cur = sigma0 * k.powi(i as i32);
+                (cur * cur - prev * prev).sqrt()
+            })
+            .collect();
+
+        // Bring the input up to σ₀.
+        let base_blur = (sigma0 * sigma0 - assumed_blur * assumed_blur).sqrt();
+        let mut current = gaussian_blur(image, base_blur);
+
+        let mut octaves = Vec::with_capacity(n_octaves);
+        for _ in 0..n_octaves {
+            let mut gaussians = Vec::with_capacity(intervals + 3);
+            gaussians.push(current.clone());
+            for inc_sigma in &inc {
+                let next = gaussian_blur(gaussians.last().expect("non-empty"), *inc_sigma);
+                gaussians.push(next);
+            }
+            let dogs = gaussians
+                .windows(2)
+                .map(|w| subtract(&w[1], &w[0]))
+                .collect();
+            // The level at index `intervals` carries exactly 2σ₀.
+            current = downsample_half(&gaussians[intervals]);
+            octaves.push(Octave { gaussians, dogs });
+        }
+
+        Pyramid { octaves, sigma0, intervals, first_octave }
+    }
+
+    /// Absolute sigma (original-image units) of `interval` in `octave`.
+    pub fn abs_sigma(&self, octave: usize, interval: f32) -> f32 {
+        self.sigma0
+            * 2.0_f32.powf(
+                octave as f32 + self.first_octave as f32 + interval / self.intervals as f32,
+            )
+    }
+
+    /// Factor converting octave-local pixel units to original-image units.
+    pub fn octave_to_image_scale(&self, octave: usize) -> f32 {
+        2.0_f32.powi(octave as i32 + self.first_octave)
+    }
+}
+
+/// Bilinear 2× upscale.
+pub fn upscale2(im: &GrayImage) -> GrayImage {
+    crate::pyramid::resize2(im)
+}
+
+fn resize2(im: &GrayImage) -> GrayImage {
+    texid_image::filter::resize_bilinear(im, im.width() * 2, im.height() * 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use texid_image::TextureGenerator;
+
+    fn test_image() -> GrayImage {
+        TextureGenerator::with_size(96).generate(5)
+    }
+
+    #[test]
+    fn shapes_and_counts() {
+        let p = Pyramid::build(&test_image(), 3, 3, 1.6, 0.5);
+        assert_eq!(p.octaves.len(), 3);
+        for (o, oct) in p.octaves.iter().enumerate() {
+            assert_eq!(oct.gaussians.len(), 6); // intervals + 3
+            assert_eq!(oct.dogs.len(), 5); // intervals + 2
+            let expect = 96usize >> o;
+            assert_eq!(oct.gaussians[0].width(), expect);
+            assert_eq!(oct.dogs[0].width(), expect);
+        }
+    }
+
+    #[test]
+    fn octave_count_clamped_for_small_images() {
+        let small = GrayImage::filled(24, 24, 0.5);
+        let p = Pyramid::build(&small, 8, 3, 1.6, 0.5);
+        assert_eq!(p.octaves.len(), 1);
+    }
+
+    #[test]
+    fn blur_monotonically_smooths() {
+        let p = Pyramid::build(&test_image(), 1, 3, 1.6, 0.5);
+        let stds: Vec<f32> = p.octaves[0].gaussians.iter().map(|g| g.stddev()).collect();
+        for w in stds.windows(2) {
+            assert!(w[1] <= w[0] + 1e-4, "blur failed to smooth: {stds:?}");
+        }
+    }
+
+    #[test]
+    fn dog_of_constant_image_is_zero() {
+        let flat = GrayImage::filled(64, 64, 0.5);
+        let p = Pyramid::build(&flat, 2, 3, 1.6, 0.5);
+        for oct in &p.octaves {
+            for dog in &oct.dogs {
+                assert!(dog.as_slice().iter().all(|&v| v.abs() < 1e-5));
+            }
+        }
+    }
+
+    #[test]
+    fn abs_sigma_doubles_per_octave() {
+        let p = Pyramid::build(&test_image(), 2, 3, 1.6, 0.5);
+        assert!((p.abs_sigma(0, 0.0) - 1.6).abs() < 1e-6);
+        assert!((p.abs_sigma(1, 0.0) - 3.2).abs() < 1e-6);
+        assert!((p.abs_sigma(0, 3.0) - 3.2).abs() < 1e-5);
+    }
+}

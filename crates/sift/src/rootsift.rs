@@ -1,0 +1,107 @@
+//! RootSIFT (Arandjelović & Zisserman, CVPR 2012) — the paper's §5.1.
+//!
+//! Each SIFT vector is L1-normalized then element-wise square-rooted. The
+//! Euclidean distance between RootSIFT vectors equals the Hellinger-kernel
+//! comparison of the original SIFT histograms, and — crucially for
+//! Algorithm 2 — the output is exactly L2-normalized, so
+//! `‖r − q‖² = 2 − 2·rᵀq` with no norm vectors needed.
+
+use crate::descriptor::DESCRIPTOR_DIM;
+
+/// Convert one SIFT descriptor to RootSIFT in place.
+///
+/// A zero vector is left unchanged (it cannot be normalized).
+pub fn rootsift_inplace(desc: &mut [f32; DESCRIPTOR_DIM]) {
+    let l1: f32 = desc.iter().map(|v| v.abs()).sum();
+    if l1 <= 1e-12 {
+        return;
+    }
+    for v in desc.iter_mut() {
+        // SIFT components are non-negative; abs guards against numeric dust.
+        *v = (v.abs() / l1).sqrt();
+    }
+}
+
+/// Hellinger kernel between two L1-normalized histograms:
+/// `H(x, y) = Σ √(xᵢ·yᵢ)`.
+pub fn hellinger_kernel(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| (a.abs() * b.abs()).sqrt()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_desc(seed: u32) -> [f32; DESCRIPTOR_DIM] {
+        let mut d = [0.0f32; DESCRIPTOR_DIM];
+        let mut state = seed as u64 | 1;
+        for v in d.iter_mut() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *v = ((state >> 40) & 0xffff) as f32 / 65535.0;
+        }
+        d
+    }
+
+    #[test]
+    fn output_is_l2_normalized() {
+        let mut d = sample_desc(1);
+        rootsift_inplace(&mut d);
+        let l2: f32 = d.iter().map(|v| v * v).sum();
+        assert!((l2 - 1.0).abs() < 1e-5, "‖RootSIFT‖² = {l2}");
+    }
+
+    #[test]
+    fn euclidean_distance_equals_hellinger_form() {
+        // ‖√x̂ − √ŷ‖² = 2 − 2·H(x̂, ŷ) where x̂, ŷ are the L1-normalized inputs.
+        let a = sample_desc(2);
+        let b = sample_desc(3);
+        let l1a: f32 = a.iter().sum();
+        let l1b: f32 = b.iter().sum();
+        let a_hat: Vec<f32> = a.iter().map(|v| v / l1a).collect();
+        let b_hat: Vec<f32> = b.iter().map(|v| v / l1b).collect();
+        let h = hellinger_kernel(&a_hat, &b_hat);
+
+        let mut ra = a;
+        let mut rb = b;
+        rootsift_inplace(&mut ra);
+        rootsift_inplace(&mut rb);
+        let dist2: f32 = ra.iter().zip(rb.iter()).map(|(x, y)| (x - y).powi(2)).sum();
+
+        assert!((dist2 - (2.0 - 2.0 * h)).abs() < 1e-5, "{dist2} vs {}", 2.0 - 2.0 * h);
+    }
+
+    #[test]
+    fn identical_inputs_have_zero_distance() {
+        let mut a = sample_desc(4);
+        let mut b = a;
+        rootsift_inplace(&mut a);
+        rootsift_inplace(&mut b);
+        let dist2: f32 = a.iter().zip(b.iter()).map(|(x, y)| (x - y).powi(2)).sum();
+        assert!(dist2 < 1e-10);
+    }
+
+    #[test]
+    fn zero_vector_unchanged() {
+        let mut d = [0.0f32; DESCRIPTOR_DIM];
+        rootsift_inplace(&mut d);
+        assert!(d.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn scale_invariance() {
+        // RootSIFT of c·x equals RootSIFT of x (L1 normalization eats c).
+        let a = sample_desc(5);
+        let mut scaled = a;
+        for v in scaled.iter_mut() {
+            *v *= 7.5;
+        }
+        let mut ra = a;
+        let mut rs = scaled;
+        rootsift_inplace(&mut ra);
+        rootsift_inplace(&mut rs);
+        for (x, y) in ra.iter().zip(rs.iter()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the SIFT pipeline.
+
+use proptest::prelude::*;
+use texid_image::{GrayImage, TextureGenerator};
+use texid_sift::detect::DetectParams;
+use texid_sift::rootsift::{hellinger_kernel, rootsift_inplace};
+use texid_sift::{extract, SiftConfig};
+
+fn small_config(max_features: usize, contrast: f32) -> SiftConfig {
+    SiftConfig {
+        max_features,
+        n_octaves: 3,
+        detect: DetectParams { contrast_threshold: contrast, ..DetectParams::default() },
+        ..SiftConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn extraction_invariants_hold_for_any_texture(
+        seed in 0u64..1_000_000,
+        max_features in 16usize..256,
+    ) {
+        let im = TextureGenerator::with_size(96).generate(seed);
+        let f = extract(&im, &small_config(max_features, 0.008));
+        // Budget respected.
+        prop_assert!(f.len() <= max_features);
+        prop_assert_eq!(f.dim(), 128);
+        prop_assert_eq!(f.keypoints.len(), f.mat.cols());
+        for (i, kp) in f.keypoints.iter().enumerate() {
+            // Keypoints stay inside the image.
+            prop_assert!(kp.x >= 0.0 && kp.x <= 96.0, "kp {i} x={}", kp.x);
+            prop_assert!(kp.y >= 0.0 && kp.y <= 96.0, "kp {i} y={}", kp.y);
+            prop_assert!(kp.sigma > 0.0);
+            prop_assert!(kp.response > 0.0);
+            // Descriptors are finite unit vectors (RootSIFT).
+            let col = f.mat.col(i);
+            prop_assert!(col.iter().all(|v| v.is_finite() && *v >= 0.0));
+            let norm: f32 = col.iter().map(|v| v * v).sum();
+            prop_assert!((norm - 1.0).abs() < 1e-3, "kp {i} norm² {norm}");
+        }
+        // Responses sorted descending (the asymmetric-truncation contract).
+        for w in f.keypoints.windows(2) {
+            prop_assert!(w[0].response >= w[1].response);
+        }
+    }
+
+    #[test]
+    fn truncation_is_a_prefix(seed in 0u64..100_000, k in 1usize..64) {
+        let im = TextureGenerator::with_size(96).generate(seed);
+        let f = extract(&im, &small_config(128, 0.008));
+        let t = f.truncated(k);
+        prop_assert_eq!(t.len(), k.min(f.len()));
+        for i in 0..t.len() {
+            prop_assert_eq!(t.mat.col(i), f.mat.col(i));
+            prop_assert_eq!(t.keypoints[i], f.keypoints[i]);
+        }
+    }
+
+    #[test]
+    fn flat_images_yield_nothing(level in 0.0f32..1.0) {
+        let im = GrayImage::filled(96, 96, level);
+        let f = extract(&im, &small_config(64, 0.004));
+        prop_assert_eq!(f.len(), 0);
+    }
+
+    #[test]
+    fn rootsift_distance_identity(
+        a in prop::collection::vec(0.0f32..1.0, 128),
+        b in prop::collection::vec(0.0f32..1.0, 128),
+    ) {
+        // ‖RootSIFT(a) − RootSIFT(b)‖² = 2 − 2·H(â, b̂) for any nonneg input.
+        let sum_a: f32 = a.iter().sum();
+        let sum_b: f32 = b.iter().sum();
+        prop_assume!(sum_a > 1e-3 && sum_b > 1e-3);
+        let mut ra = [0.0f32; 128];
+        let mut rb = [0.0f32; 128];
+        ra.copy_from_slice(&a);
+        rb.copy_from_slice(&b);
+        rootsift_inplace(&mut ra);
+        rootsift_inplace(&mut rb);
+        let dist2: f32 = ra.iter().zip(rb.iter()).map(|(x, y)| (x - y).powi(2)).sum();
+        let a_hat: Vec<f32> = a.iter().map(|v| v / sum_a).collect();
+        let b_hat: Vec<f32> = b.iter().map(|v| v / sum_b).collect();
+        let h = hellinger_kernel(&a_hat, &b_hat);
+        prop_assert!((dist2 - (2.0 - 2.0 * h)).abs() < 1e-3, "{dist2} vs {}", 2.0 - 2.0 * h);
+    }
+}

@@ -1,0 +1,79 @@
+//! The distributed search system (§8) end-to-end: a simulated multi-GPU
+//! cluster behind the RESTful API, driven over real HTTP on localhost.
+//!
+//! ```sh
+//! cargo run --release -p texid-apps --example distributed_search
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use texid_core::EngineConfig;
+use texid_distrib::api;
+use texid_distrib::b64;
+use texid_distrib::cluster::{Cluster, ClusterConfig};
+use texid_distrib::http::http_call;
+use texid_distrib::json::parse;
+use texid_distrib::wire;
+use texid_image::{CaptureCondition, TextureGenerator};
+use texid_sift::{extract, SiftConfig};
+
+fn main() {
+    // A small cluster for the demo (the paper's production setup is 14
+    // containers; see `cargo bench --bench system_distributed` for that
+    // scale on phantom data).
+    let cluster = Arc::new(Cluster::new(ClusterConfig {
+        containers: 4,
+        engine: EngineConfig { batch_size: 8, ..EngineConfig::default() },
+    }));
+    let server = api::serve(cluster.clone(), "127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+    println!("REST API listening on http://{addr}");
+
+    let factory = TextureGenerator::with_size(256);
+    let ref_cfg = SiftConfig::reference(384);
+
+    // Enroll 16 textures through the HTTP API, exactly as a manufacturing
+    // line would.
+    println!("POST /textures x16 ...");
+    for id in 0..16u64 {
+        let features = extract(&factory.generate(id), &ref_cfg);
+        let payload = b64::encode(&wire::encode_features(&features));
+        let body = format!(r#"{{"id": {id}, "features": "{payload}"}}"#);
+        let resp = http_call(addr, "POST", "/textures", body.as_bytes()).expect("http");
+        assert_eq!(resp.status, 201, "{}", resp.text());
+    }
+
+    // Cluster stats.
+    let stats = http_call(addr, "GET", "/stats", b"").expect("http");
+    println!("GET /stats -> {}", stats.text());
+
+    // A customer photographs texture 11 and searches.
+    let mut rng = SmallRng::seed_from_u64(99);
+    let photo = CaptureCondition::mild(&mut rng).apply(&factory.generate(11), 0);
+    let query = extract(&photo, &SiftConfig::query(768));
+    let payload = b64::encode(&wire::encode_features(&query));
+    let body = format!(r#"{{"features": "{payload}", "top": 3}}"#);
+    let resp = http_call(addr, "POST", "/search", body.as_bytes()).expect("http");
+    println!("POST /search -> {}", resp.text());
+
+    let v = parse(&resp.text()).expect("json");
+    let results = v.get("results").expect("results").as_arr().expect("array");
+    let best = results[0].get("id").expect("id").as_u64().expect("u64");
+    println!(
+        "\nidentified texture {best} out of {} comparisons at {} comparisons/s (simulated)",
+        v.get("comparisons").expect("c").as_u64().unwrap_or(0),
+        v.get("images_per_second").expect("s").as_f64().unwrap_or(0.0).round(),
+    );
+    assert_eq!(best, 11);
+
+    // Lifecycle: delete it, search again — it must vanish from results.
+    let resp = http_call(addr, "DELETE", "/textures/11", b"").expect("http");
+    assert_eq!(resp.status, 200);
+    let resp = http_call(addr, "POST", "/search", body.as_bytes()).expect("http");
+    let v = parse(&resp.text()).expect("json");
+    let results = v.get("results").expect("results").as_arr().expect("array");
+    let best_after = results[0].get("id").expect("id").as_u64().expect("u64");
+    println!("after DELETE /textures/11, best result is {best_after} (low score — correct)");
+    assert_ne!(best_after, 11);
+}

@@ -1,0 +1,64 @@
+//! Quickstart: index a handful of textures, search with a re-captured
+//! query, identify the product.
+//!
+//! ```sh
+//! cargo run --release -p texid-apps --example quickstart
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use texid_core::{Engine, EngineConfig};
+use texid_image::{CaptureCondition, TextureGenerator};
+use texid_sift::{extract, SiftConfig};
+
+fn main() {
+    // 1. A texture "factory": deterministic procedural tea-brick surfaces.
+    //    (In production these would be photos from the manufacturing line.)
+    let factory = TextureGenerator::with_size(256);
+
+    // 2. Bring up a search engine — one simulated Tesla P100 with the
+    //    paper's optimal configuration (RootSIFT + FP16 + batching +
+    //    hybrid cache + asymmetric m=384/n=768).
+    let mut engine = Engine::new(EngineConfig::default());
+
+    // 3. Enroll 12 products: extract reference features (top-384) and index.
+    println!("enrolling 12 reference textures ...");
+    let ref_cfg = SiftConfig::reference(384);
+    for id in 0..12u64 {
+        let image = factory.generate(id);
+        let features = extract(&image, &ref_cfg);
+        engine.add_reference(id, &features).expect("cache has room");
+    }
+    engine.flush().expect("seal final batch");
+
+    // 4. A customer re-photographs product #7 with their phone: different
+    //    angle, lighting and sensor noise.
+    let mut rng = SmallRng::seed_from_u64(42);
+    let capture = CaptureCondition::mild(&mut rng);
+    let query_image = capture.apply(&factory.generate(7), 7);
+    let query = extract(&query_image, &SiftConfig::query(768));
+    println!(
+        "query capture: rotation {:.1} deg, zoom {:.2}, {} features extracted",
+        capture.rotation_deg,
+        capture.scale,
+        query.len()
+    );
+
+    // 5. Search.
+    let result = engine.search(&query);
+    println!("\nranked results (good-match score per reference):");
+    for (id, score) in result.ranked.iter().take(5) {
+        println!("  texture {id:>3}  score {score}");
+    }
+    match result.best(10) {
+        Some((id, score)) => println!("\nIDENTIFIED: texture {id} with {score} matching keypoints"),
+        None => println!("\nno confident match"),
+    }
+    println!(
+        "simulated device time: {:.1} ms ({} comparisons/s on a {})",
+        result.report.total_us / 1e3,
+        result.report.images_per_second().round(),
+        engine.config().device.name,
+    );
+    assert_eq!(result.ranked[0].0, 7, "quickstart must identify texture 7");
+}
