@@ -116,7 +116,8 @@ fn main() {
         outputs.push(match_pair(&cfg, &r, &q, &mut sim, st));
     }
 
-    let steps: [(&str, fn(&texid_knn::StepTimes) -> f64, fn(&PaperColumn) -> Option<f64>); 6] = [
+    type StepRow = (&'static str, fn(&texid_knn::StepTimes) -> f64, fn(&PaperColumn) -> Option<f64>);
+    let steps: [StepRow; 6] = [
         ("GEMM", |s| s.gemm_us, |p| p.gemm),
         ("Add N_R", |s| s.add_nr_us, |p| p.add_nr),
         ("Top-2 sort", |s| s.sort_us, |p| p.sort),

@@ -565,7 +565,6 @@ mod tests {
                     device_reserve_bytes: 256 << 20,
                     pinned: true,
                 },
-                ..EngineConfig::default()
             })
         };
         let mut cramped = mk(small_dev);

@@ -10,12 +10,18 @@
 //! | `/search` | POST | `{"features": "<base64 wire>", "top": K}` | search |
 //! | `/verify` | POST | `{"id": N, "features": "<base64 wire>"}` | 1:1 verification |
 //! | `/stats` | GET | — | cluster statistics |
+//! | `/health` | GET | — | per-shard breaker state (503 when no shard serves) |
+//! | `/heal` | POST | — | rebuild unhealthy shards from the feature store |
 //!
 //! Feature payloads travel as base64-encoded protobuf-style bytes
 //! ([`crate::wire`]), matching the paper's protobuf serialization.
+//!
+//! Search responses carry the degraded-mode quorum metadata
+//! (`degraded`, `shards_ok`, `shards_failed`, `shards_skipped`) so clients
+//! can tell a partial answer from a full one.
 
 use crate::b64;
-use crate::cluster::{Cluster, ClusterError};
+use crate::cluster::{Cluster, ClusterError, ShardHealth};
 use crate::http::{HttpServer, Request, Response};
 use crate::json::{parse, Json};
 use crate::wire;
@@ -38,6 +44,7 @@ fn parse_features_field(v: &Json, field: &str) -> Result<FeatureMatrix, Response
 fn cluster_err(e: ClusterError) -> Response {
     match e {
         ClusterError::NotFound(_) => err_json(404, &e.to_string()),
+        ClusterError::Unavailable(_) | ClusterError::Timeout(_) => err_json(503, &e.to_string()),
         _ => err_json(500, &e.to_string()),
     }
 }
@@ -142,6 +149,10 @@ pub fn handle(cluster: &Cluster, req: &Request) -> Response {
                     ("comparisons", Json::Num(out.comparisons as f64)),
                     ("wall_us", Json::Num(out.wall_us)),
                     ("images_per_second", Json::Num(out.images_per_second())),
+                    ("degraded", Json::Bool(out.degraded)),
+                    ("shards_ok", Json::Num(out.shards_ok as f64)),
+                    ("shards_failed", Json::Num(out.shards_failed as f64)),
+                    ("shards_skipped", Json::Num(out.shards_skipped as f64)),
                 ])
                 .to_string(),
             )
@@ -186,13 +197,72 @@ pub fn handle(cluster: &Cluster, req: &Request) -> Response {
                     ("textures", Json::Num(s.textures as f64)),
                     ("store_bytes", Json::Num(s.store_bytes as f64)),
                     ("capacity_images", Json::Num(s.capacity_images as f64)),
+                    ("shards_healthy", Json::Num(s.shards_healthy as f64)),
+                    ("shards_suspect", Json::Num(s.shards_suspect as f64)),
+                    ("shards_down", Json::Num(s.shards_down as f64)),
+                    ("total_searches", Json::Num(s.total_searches as f64)),
+                    ("degraded_searches", Json::Num(s.degraded_searches as f64)),
+                    ("retries", Json::Num(s.retries as f64)),
+                    ("faults_injected", Json::Num(s.faults_injected as f64)),
                 ])
                 .to_string(),
             )
         }
-        (_, ["textures"] | ["textures", _] | ["search"] | ["verify"] | ["stats"]) => {
-            err_json(405, "method not allowed")
+        ("GET", ["health"]) => {
+            let shards = cluster.health();
+            let healthy = shards.iter().filter(|s| s.health == ShardHealth::Healthy).count();
+            let serving = shards.iter().filter(|s| s.health != ShardHealth::Down).count();
+            // 503 only when no shard can serve a search at all.
+            let (status, verdict) = if serving == 0 {
+                (503, "unavailable")
+            } else if healthy == shards.len() {
+                (200, "ok")
+            } else {
+                (200, "degraded")
+            };
+            let shard_list = Json::Arr(
+                shards
+                    .iter()
+                    .map(|s| {
+                        Json::obj([
+                            ("shard", Json::Num(s.shard as f64)),
+                            ("health", Json::Str(s.health.as_str().to_string())),
+                            ("consecutive_failures", Json::Num(s.consecutive_failures as f64)),
+                            ("total_failures", Json::Num(s.total_failures as f64)),
+                            ("probes", Json::Num(s.probes as f64)),
+                        ])
+                    })
+                    .collect(),
+            );
+            Response::json(
+                status,
+                Json::obj([
+                    ("status", Json::Str(verdict.to_string())),
+                    ("shards", shard_list),
+                ])
+                .to_string(),
+            )
         }
+        ("POST", ["heal"]) => match cluster.heal() {
+            Ok(r) => Response::json(
+                200,
+                Json::obj([
+                    ("healed", Json::Arr(r.healed.iter().map(|s| Json::Num(*s as f64)).collect())),
+                    ("restored", Json::Num(r.restored as f64)),
+                    (
+                        "quarantined",
+                        Json::Arr(r.quarantined.iter().map(|id| Json::Num(*id as f64)).collect()),
+                    ),
+                ])
+                .to_string(),
+            ),
+            Err(e) => cluster_err(e),
+        },
+        (
+            _,
+            ["textures"] | ["textures", _] | ["search"] | ["verify"] | ["stats"] | ["health"]
+            | ["heal"],
+        ) => err_json(405, "method not allowed"),
         _ => err_json(404, "no such route"),
     }
 }
@@ -211,8 +281,8 @@ mod tests {
     use texid_image::TextureGenerator;
     use texid_sift::{extract, SiftConfig};
 
-    fn test_cluster() -> Arc<Cluster> {
-        Arc::new(Cluster::new(ClusterConfig {
+    fn test_config() -> ClusterConfig {
+        ClusterConfig {
             containers: 2,
             engine: EngineConfig {
                 m_ref: 128,
@@ -221,7 +291,12 @@ mod tests {
                 streams: 1,
                 ..EngineConfig::default()
             },
-        }))
+            ..ClusterConfig::default()
+        }
+    }
+
+    fn test_cluster() -> Arc<Cluster> {
+        Arc::new(Cluster::new(test_config()))
     }
 
     fn features_b64(seed: u64, n: usize) -> String {
@@ -308,5 +383,58 @@ mod tests {
         assert_eq!(http_call(addr, "GET", "/nope", b"").unwrap().status, 404);
         assert_eq!(http_call(addr, "PATCH", "/stats", b"").unwrap().status, 405);
         assert_eq!(http_call(addr, "GET", "/textures/abc", b"").unwrap().status, 400);
+        assert_eq!(http_call(addr, "POST", "/health", b"").unwrap().status, 405);
+        assert_eq!(http_call(addr, "GET", "/heal", b"").unwrap().status, 405);
+    }
+
+    #[test]
+    fn health_reports_degraded_shards_and_heal_recovers() {
+        use crate::faults::FaultPlan;
+        // Trip shard 0's breaker with three scripted crashes.
+        let plan = FaultPlan::new(31)
+            .crash_shard_after(0, 0)
+            .crash_shard_after(0, 0)
+            .crash_shard_after(0, 0);
+        let cluster = Arc::new(Cluster::with_faults(test_config(), Some(plan)));
+        let server = serve(cluster, "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+
+        for id in 0..4u64 {
+            let body = format!(r#"{{"id": {id}, "features": "{}"}}"#, features_b64(id, 128));
+            assert_eq!(http_call(addr, "POST", "/textures", body.as_bytes()).unwrap().status, 201);
+        }
+
+        // All healthy at first.
+        let resp = http_call(addr, "GET", "/health", b"").unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(resp.text().contains(r#""status":"ok""#), "{}", resp.text());
+
+        // Three searches hit the crash rules; responses stay 200 but flag
+        // the degradation, and the shard ends up Down.
+        let search_body = format!(r#"{{"features": "{}", "top": 2}}"#, features_b64(1, 256));
+        for _ in 0..3 {
+            let resp = http_call(addr, "POST", "/search", search_body.as_bytes()).unwrap();
+            assert_eq!(resp.status, 200);
+            let v = parse(&resp.text()).unwrap();
+            assert_eq!(v.get("degraded").and_then(Json::as_bool), Some(true), "{}", resp.text());
+            assert_eq!(v.get("shards_failed").and_then(Json::as_u64), Some(1));
+        }
+        let resp = http_call(addr, "GET", "/health", b"").unwrap();
+        assert_eq!(resp.status, 200, "one shard still serves");
+        assert!(resp.text().contains(r#""status":"degraded""#), "{}", resp.text());
+        assert!(resp.text().contains(r#""health":"down""#), "{}", resp.text());
+
+        // Heal, then everything reports healthy again.
+        let resp = http_call(addr, "POST", "/heal", b"").unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(resp.text().contains(r#""healed":[0]"#), "{}", resp.text());
+        let resp = http_call(addr, "GET", "/health", b"").unwrap();
+        assert!(resp.text().contains(r#""status":"ok""#), "{}", resp.text());
+        let resp = http_call(addr, "POST", "/search", search_body.as_bytes()).unwrap();
+        let v = parse(&resp.text()).unwrap();
+        assert_eq!(v.get("degraded").and_then(Json::as_bool), Some(false), "{}", resp.text());
+        let stats = http_call(addr, "GET", "/stats", b"").unwrap();
+        assert!(stats.text().contains(r#""degraded_searches":3"#), "{}", stats.text());
+        assert!(stats.text().contains(r#""faults_injected":3"#), "{}", stats.text());
     }
 }

@@ -12,17 +12,50 @@
 //! caches are append-only (like the paper's), so a deleted id is masked out
 //! of search results and its KV entry removed; re-adding re-indexes fresh
 //! features.
+//!
+//! # Failure model & degraded mode
+//!
+//! A shard leg of a search can fail (crash, injected fault, cache error) —
+//! failures never escape [`Cluster::search`] as panics. Each shard carries
+//! a health state machine (`Healthy → Suspect → Down`) with a circuit
+//! breaker: after [`ResilienceConfig::trip_threshold`] consecutive failures
+//! the shard is `Down` and skipped, then probed half-open after
+//! [`ResilienceConfig::cooldown_searches`] searches and re-admitted on the
+//! first success. Results from a partial scatter are flagged `degraded`
+//! with `shards_ok`/`shards_failed`/`shards_skipped` quorum metadata.
+//! [`Cluster::heal`] rebuilds every unhealthy shard from the feature store,
+//! quarantining entries whose stored bytes are lost or corrupt. Fault
+//! injection is deterministic and seeded — see [`crate::faults`].
 
+use crate::faults::{Backoff, FaultKind, FaultOp, FaultPlan};
 use crate::kv::KvStore;
 use crate::wire;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use texid_cache::CacheError;
 use texid_core::{Engine, EngineConfig, SearchReport};
 use texid_gpu::{DeviceSpec, GpuSim};
 use texid_knn::geometry::{verify_matches, RansacParams};
 use texid_knn::{match_pair, ExecMode, FeatureBlock, MatchConfig};
 use texid_sift::FeatureMatrix;
+
+/// Degraded-mode and retry tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct ResilienceConfig {
+    /// Consecutive failures before a shard's breaker trips to `Down`.
+    pub trip_threshold: u32,
+    /// Searches a `Down` shard sits out before a half-open probe.
+    pub cooldown_searches: u32,
+    /// Bounded deterministic exponential backoff for transient faults.
+    pub backoff: Backoff,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig { trip_threshold: 3, cooldown_searches: 2, backoff: Backoff::default() }
+    }
+}
 
 /// Cluster construction parameters.
 #[derive(Clone, Debug)]
@@ -31,11 +64,17 @@ pub struct ClusterConfig {
     pub containers: usize,
     /// Per-container engine configuration.
     pub engine: EngineConfig,
+    /// Failure handling.
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for ClusterConfig {
     fn default() -> Self {
-        ClusterConfig { containers: 14, engine: EngineConfig::default() }
+        ClusterConfig {
+            containers: 14,
+            engine: EngineConfig::default(),
+            resilience: ResilienceConfig::default(),
+        }
     }
 }
 
@@ -48,6 +87,16 @@ pub enum ClusterError {
     NotFound(u64),
     /// Stored bytes failed to decode.
     Corrupt(u64),
+    /// A required resource cannot be reached right now.
+    Unavailable(String),
+    /// Bounded retries were exhausted on transient failures.
+    Timeout(String),
+}
+
+impl From<CacheError> for ClusterError {
+    fn from(e: CacheError) -> ClusterError {
+        ClusterError::Cache(e)
+    }
 }
 
 impl std::fmt::Display for ClusterError {
@@ -56,23 +105,116 @@ impl std::fmt::Display for ClusterError {
             ClusterError::Cache(e) => write!(f, "cache error: {e}"),
             ClusterError::NotFound(id) => write!(f, "texture {id} not found"),
             ClusterError::Corrupt(id) => write!(f, "stored features for {id} corrupt"),
+            ClusterError::Unavailable(what) => write!(f, "{what} unavailable"),
+            ClusterError::Timeout(op) => write!(f, "retries exhausted: {op}"),
         }
     }
 }
 
 impl std::error::Error for ClusterError {}
 
+/// Shard health, as driven by the per-shard circuit breaker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// Serving normally.
+    Healthy,
+    /// Failed recently but still serving (below the trip threshold).
+    Suspect,
+    /// Breaker open: skipped by searches until a half-open probe succeeds.
+    Down,
+}
+
+impl ShardHealth {
+    /// Lowercase name (REST `/health` payload).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ShardHealth::Healthy => "healthy",
+            ShardHealth::Suspect => "suspect",
+            ShardHealth::Down => "down",
+        }
+    }
+}
+
+/// Public point-in-time view of one shard's breaker state.
+#[derive(Clone, Debug)]
+pub struct ShardStatus {
+    /// Shard index.
+    pub shard: usize,
+    /// Current health.
+    pub health: ShardHealth,
+    /// Consecutive failures (resets on success).
+    pub consecutive_failures: u32,
+    /// Lifetime failures.
+    pub total_failures: u64,
+    /// Half-open probes attempted.
+    pub probes: u64,
+}
+
+/// Internal breaker bookkeeping for one shard.
+#[derive(Debug)]
+struct ShardState {
+    health: ShardHealth,
+    consecutive_failures: u32,
+    total_failures: u64,
+    /// Searches sat out since the breaker opened.
+    skips_while_down: u32,
+    probes: u64,
+}
+
+impl Default for ShardState {
+    fn default() -> Self {
+        ShardState {
+            health: ShardHealth::Healthy,
+            consecutive_failures: 0,
+            total_failures: 0,
+            skips_while_down: 0,
+            probes: 0,
+        }
+    }
+}
+
+impl ShardState {
+    fn health(&self) -> ShardHealth {
+        self.health
+    }
+
+    fn record_success(&mut self) {
+        self.health = ShardHealth::Healthy;
+        self.consecutive_failures = 0;
+        self.skips_while_down = 0;
+    }
+
+    fn record_failure(&mut self, trip_threshold: u32) {
+        self.consecutive_failures += 1;
+        self.total_failures += 1;
+        self.skips_while_down = 0;
+        self.health = if self.consecutive_failures >= trip_threshold {
+            ShardHealth::Down
+        } else {
+            ShardHealth::Suspect
+        };
+    }
+}
+
 /// One search's cluster-level outcome.
 #[derive(Clone, Debug)]
 pub struct ClusterSearchResult {
     /// Top results across all shards, best first (tombstones filtered).
     pub results: Vec<(u64, usize)>,
-    /// Per-shard performance reports.
+    /// Per-shard performance reports (successful shards only).
     pub shard_reports: Vec<SearchReport>,
     /// Simulated wall time = slowest shard, µs.
     pub wall_us: f64,
     /// Total reference comparisons performed.
     pub comparisons: usize,
+    /// Shards that answered.
+    pub shards_ok: usize,
+    /// Shards that failed this search (crash, error, retries exhausted).
+    pub shards_failed: usize,
+    /// Shards skipped because their breaker was open.
+    pub shards_skipped: usize,
+    /// True when any shard failed or was skipped: results may be partial.
+    pub degraded: bool,
 }
 
 impl ClusterSearchResult {
@@ -101,6 +243,27 @@ pub struct VerifyReport {
     pub accepted: bool,
 }
 
+/// What [`Cluster::recover_container`] accomplished.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RecoveryReport {
+    /// Entries re-indexed from the store.
+    pub restored: usize,
+    /// Ids whose stored bytes were lost or corrupt; their remains were
+    /// moved under a `quarantine:` key and the id retired.
+    pub quarantined: Vec<u64>,
+}
+
+/// What [`Cluster::heal`] accomplished.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HealReport {
+    /// Shards rebuilt and re-admitted.
+    pub healed: Vec<usize>,
+    /// Entries re-indexed across all healed shards.
+    pub restored: usize,
+    /// Ids quarantined across all healed shards.
+    pub quarantined: Vec<u64>,
+}
+
 /// Point-in-time cluster statistics.
 #[derive(Clone, Debug)]
 pub struct ClusterStats {
@@ -112,6 +275,39 @@ pub struct ClusterStats {
     pub store_bytes: u64,
     /// Total feature-matrix capacity across all hybrid caches.
     pub capacity_images: u64,
+    /// Shards currently `Healthy`.
+    pub shards_healthy: usize,
+    /// Shards currently `Suspect`.
+    pub shards_suspect: usize,
+    /// Shards currently `Down`.
+    pub shards_down: usize,
+    /// Searches served since startup.
+    pub total_searches: u64,
+    /// Searches that returned partial (degraded) results.
+    pub degraded_searches: u64,
+    /// Transient-fault retries performed.
+    pub retries: u64,
+    /// Faults injected by the active plan (0 without one).
+    pub faults_injected: u64,
+}
+
+/// Per-shard dispatch decision for one search, fixed *before* the scatter
+/// so fault decisions are drawn sequentially (determinism contract).
+#[derive(Clone, Copy)]
+enum LegPlan {
+    /// Breaker open: shard sits this search out.
+    Skip,
+    /// Dispatch, with any pre-drawn injected behavior.
+    Run { crash: bool, straggle: Option<f64>, backoff_us: f64 },
+    /// Transient-fault retries already exhausted: fail without dispatching.
+    FailFast,
+}
+
+/// Per-shard gathered outcome of one search.
+enum Gathered {
+    Skipped,
+    Failed,
+    Answered(Vec<(u64, usize)>, SearchReport),
 }
 
 /// The distributed search system.
@@ -128,15 +324,26 @@ pub struct Cluster {
     external_of: Mutex<HashMap<u64, u64>>,
     next_key: Mutex<u64>,
     next_rr: Mutex<usize>,
+    shard_health: Mutex<Vec<ShardState>>,
+    fault_plan: Option<FaultPlan>,
+    total_searches: AtomicU64,
+    degraded_searches: AtomicU64,
+    retries: AtomicU64,
 }
 
 impl Cluster {
-    /// Bring up `cfg.containers` engines.
+    /// Bring up `cfg.containers` engines (no fault injection).
     pub fn new(cfg: ClusterConfig) -> Cluster {
+        Cluster::with_faults(cfg, None)
+    }
+
+    /// Bring up the cluster with an optional seeded fault plan.
+    pub fn with_faults(cfg: ClusterConfig, fault_plan: Option<FaultPlan>) -> Cluster {
         assert!(cfg.containers >= 1, "need at least one container");
         let shards = (0..cfg.containers)
             .map(|_| Mutex::new(Engine::new(cfg.engine.clone())))
             .collect();
+        let shard_health = (0..cfg.containers).map(|_| ShardState::default()).collect();
         Cluster {
             cfg,
             shards,
@@ -146,6 +353,11 @@ impl Cluster {
             external_of: Mutex::new(HashMap::new()),
             next_key: Mutex::new(0),
             next_rr: Mutex::new(0),
+            shard_health: Mutex::new(shard_health),
+            fault_plan,
+            total_searches: AtomicU64::new(0),
+            degraded_searches: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
         }
     }
 
@@ -159,17 +371,79 @@ impl Cluster {
         &self.store
     }
 
+    /// The active fault plan, if any (exposed for chaos tests).
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
     fn key(id: u64) -> String {
         format!("tex:{id:020}")
+    }
+
+    /// Store read through the fault plan: bounded deterministic retries on
+    /// transient faults, loss/corruption surfaced to the caller.
+    fn store_get(&self, key: &str) -> Result<Option<Vec<u8>>, ClusterError> {
+        let Some(plan) = &self.fault_plan else {
+            return Ok(self.store.get(key));
+        };
+        let mut attempt = 0u32;
+        loop {
+            match plan.decide(FaultOp::kv_read(key)) {
+                Some(FaultKind::Transient) => {
+                    if attempt >= self.cfg.resilience.backoff.max_retries {
+                        return Err(ClusterError::Timeout(format!("kv read {key}")));
+                    }
+                    attempt += 1;
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                }
+                Some(FaultKind::KvLoss) => return Ok(None),
+                Some(FaultKind::KvCorrupt) => {
+                    return Ok(self.store.get(key).map(|mut bytes| {
+                        plan.corrupt_bytes(&mut bytes);
+                        bytes
+                    }))
+                }
+                _ => return Ok(self.store.get(key)),
+            }
+        }
+    }
+
+    /// Store write through the fault plan (same retry discipline).
+    fn store_set(&self, key: &str, value: Vec<u8>) -> Result<(), ClusterError> {
+        if let Some(plan) = &self.fault_plan {
+            let mut attempt = 0u32;
+            while let Some(FaultKind::Transient) = plan.decide(FaultOp::kv_write(key)) {
+                if attempt >= self.cfg.resilience.backoff.max_retries {
+                    return Err(ClusterError::Unavailable(format!("feature store ({key})")));
+                }
+                attempt += 1;
+                self.retries.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.store.set(key, value);
+        Ok(())
+    }
+
+    /// Retire an id whose stored bytes are lost or corrupt, preserving the
+    /// remains under a `quarantine:` key for offline inspection.
+    fn quarantine(&self, id: u64) {
+        let key = Self::key(id);
+        if let Some(bytes) = self.store.get(&key) {
+            self.store.set(&format!("quarantine:{key}"), bytes);
+        }
+        self.store.del(&key);
+        self.live_key.lock().remove(&id);
+        self.shard_of.lock().remove(&id);
     }
 
     /// Add (or re-add) a texture's reference features.
     ///
     /// # Errors
-    /// Propagates shard cache exhaustion.
+    /// Propagates shard cache exhaustion; `Unavailable` if the feature
+    /// store rejects the write past the retry budget.
     pub fn add_texture(&self, id: u64, features: &FeatureMatrix) -> Result<(), ClusterError> {
         // Persist first (the paper's Redis holds the authoritative copy).
-        self.store.set(&Self::key(id), wire::encode_features(features));
+        self.store_set(&Self::key(id), wire::encode_features(features))?;
         // Allocate round-robin and index under a fresh internal key.
         let shard = {
             let mut rr = self.next_rr.lock();
@@ -183,10 +457,7 @@ impl Cluster {
             *nk += 1;
             k
         };
-        self.shards[shard]
-            .lock()
-            .add_reference(key, features)
-            .map_err(ClusterError::Cache)?;
+        self.shards[shard].lock().add_reference(key, features)?;
         self.shard_of.lock().insert(id, shard);
         self.live_key.lock().insert(id, key);
         self.external_of.lock().insert(key, id);
@@ -222,20 +493,20 @@ impl Cluster {
     /// Fetch the stored features for a texture.
     ///
     /// # Errors
-    /// `NotFound` / `Corrupt`.
+    /// `NotFound` / `Corrupt` / `Timeout`.
     pub fn get_texture(&self, id: u64) -> Result<FeatureMatrix, ClusterError> {
-        let bytes = self.store.get(&Self::key(id)).ok_or(ClusterError::NotFound(id))?;
+        let bytes = self.store_get(&Self::key(id))?.ok_or(ClusterError::NotFound(id))?;
         wire::decode_features(&bytes).map_err(|_| ClusterError::Corrupt(id))
     }
 
     /// Number of live textures.
     pub fn len(&self) -> usize {
-        self.store.len()
+        self.live_key.lock().len()
     }
 
-    /// True when no textures are stored.
+    /// True when no textures are live.
     pub fn is_empty(&self) -> bool {
-        self.store.is_empty()
+        self.len() == 0
     }
 
     /// One-to-one verification: match `query` against the *claimed*
@@ -279,36 +550,145 @@ impl Cluster {
         })
     }
 
-    /// Scatter-gather search across all shards.
+    /// Degraded-mode scatter-gather search.
+    ///
+    /// Shard failures — injected crashes, cache errors, exhausted retries —
+    /// are caught per shard and never escape as panics. Shards whose
+    /// breaker is open are skipped (or probed half-open after cooldown);
+    /// the result carries quorum metadata and `degraded = true` whenever
+    /// coverage was partial.
     pub fn search(&self, query: &FeatureMatrix, top_k: usize) -> ClusterSearchResult {
+        self.total_searches.fetch_add(1, Ordering::Relaxed);
         let live_key = self.live_key.lock().clone();
         let external_of = self.external_of.lock().clone();
-        let mut shard_outputs: Vec<(Vec<(u64, usize)>, SearchReport)> =
-            Vec::with_capacity(self.shards.len());
+        let backoff: Backoff = self.cfg.resilience.backoff;
 
+        // Phase 1 (sequential, deterministic): breaker gating and fault
+        // decisions, fixed per shard before any thread is spawned.
+        let mut plans: Vec<LegPlan> = Vec::with_capacity(self.shards.len());
+        {
+            let mut states = self.shard_health.lock();
+            for (i, st) in states.iter_mut().enumerate() {
+                if st.health() == ShardHealth::Down {
+                    st.skips_while_down += 1;
+                    if st.skips_while_down < self.cfg.resilience.cooldown_searches {
+                        plans.push(LegPlan::Skip);
+                        continue;
+                    }
+                    st.probes += 1; // half-open probe
+                }
+                let mut plan = LegPlan::Run { crash: false, straggle: None, backoff_us: 0.0 };
+                if let Some(fp) = &self.fault_plan {
+                    let mut transient_fails = 0u32;
+                    loop {
+                        match fp.decide(FaultOp::search_shard(i)) {
+                            Some(FaultKind::Transient) => {
+                                transient_fails += 1;
+                                if transient_fails > backoff.max_retries {
+                                    plan = LegPlan::FailFast;
+                                    break;
+                                }
+                                self.retries.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Some(FaultKind::ShardCrash) => {
+                                plan = LegPlan::Run { crash: true, straggle: None, backoff_us: 0.0 };
+                                break;
+                            }
+                            Some(FaultKind::Straggler { factor }) => {
+                                plan = LegPlan::Run {
+                                    crash: false,
+                                    straggle: Some(factor),
+                                    backoff_us: backoff.total_us(transient_fails),
+                                };
+                                break;
+                            }
+                            _ => {
+                                plan = LegPlan::Run {
+                                    crash: false,
+                                    straggle: None,
+                                    backoff_us: backoff.total_us(transient_fails),
+                                };
+                                break;
+                            }
+                        }
+                    }
+                }
+                plans.push(plan);
+            }
+        }
+
+        // Phase 2: scatter to eligible shards, gather catching all failures.
+        let mut gathered: Vec<Gathered> = Vec::with_capacity(self.shards.len());
         std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .shards
                 .iter()
-                .map(|shard| {
-                    scope.spawn(move || {
-                        let mut engine = shard.lock();
-                        // Seal any pending partial batch so it is searchable.
-                        engine.flush().expect("flush during search");
-                        let r = engine.search(query);
-                        (r.ranked, r.report)
-                    })
+                .zip(&plans)
+                .map(|(shard, plan)| match *plan {
+                    LegPlan::Run { crash, straggle, backoff_us } => {
+                        Some(scope.spawn(
+                            move || -> Result<(Vec<(u64, usize)>, SearchReport), ClusterError> {
+                                if crash {
+                                    panic!("injected shard crash (fault plan)");
+                                }
+                                let mut engine = shard.lock();
+                                // Seal any pending partial batch so it is searchable.
+                                engine.flush()?;
+                                let mut r = engine.search(query);
+                                if let Some(factor) = straggle {
+                                    r.report.total_us *= factor;
+                                    r.report.serial_total_us *= factor;
+                                }
+                                r.report.total_us += backoff_us;
+                                Ok((r.ranked, r.report))
+                            },
+                        ))
+                    }
+                    LegPlan::Skip | LegPlan::FailFast => None,
                 })
                 .collect();
-            for h in handles {
-                shard_outputs.push(h.join().expect("shard thread panicked"));
+            for (plan, handle) in plans.iter().zip(handles) {
+                gathered.push(match (plan, handle) {
+                    (LegPlan::Skip, _) => Gathered::Skipped,
+                    (LegPlan::FailFast, _) => Gathered::Failed,
+                    (LegPlan::Run { .. }, Some(h)) => match h.join() {
+                        Ok(Ok((ranked, report))) => Gathered::Answered(ranked, report),
+                        // Ok(Err(_)): engine error; Err(_): the leg panicked.
+                        _ => Gathered::Failed,
+                    },
+                    (LegPlan::Run { .. }, None) => Gathered::Failed,
+                });
             }
         });
 
+        // Phase 3: drive the breakers from the outcomes.
+        {
+            let mut states = self.shard_health.lock();
+            for (st, g) in states.iter_mut().zip(&gathered) {
+                match g {
+                    Gathered::Answered(..) => st.record_success(),
+                    Gathered::Failed => st.record_failure(self.cfg.resilience.trip_threshold),
+                    Gathered::Skipped => {}
+                }
+            }
+        }
+
+        let shards_ok = gathered.iter().filter(|g| matches!(g, Gathered::Answered(..))).count();
+        let shards_failed = gathered.iter().filter(|g| matches!(g, Gathered::Failed)).count();
+        let shards_skipped = gathered.iter().filter(|g| matches!(g, Gathered::Skipped)).count();
+        let degraded = shards_failed > 0 || shards_skipped > 0;
+        if degraded {
+            self.degraded_searches.fetch_add(1, Ordering::Relaxed);
+        }
+
         // Translate internal keys to external ids, dropping retired keys.
-        let mut results: Vec<(u64, usize)> = shard_outputs
+        let mut results: Vec<(u64, usize)> = gathered
             .iter()
-            .flat_map(|(ranked, _)| ranked.iter().copied())
+            .filter_map(|g| match g {
+                Gathered::Answered(ranked, _) => Some(ranked),
+                _ => None,
+            })
+            .flat_map(|ranked| ranked.iter().copied())
             .filter_map(|(key, score)| {
                 let id = *external_of.get(&key)?;
                 (live_key.get(&id) == Some(&key)).then_some((id, score))
@@ -317,11 +697,25 @@ impl Cluster {
         results.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         results.truncate(top_k);
 
-        let shard_reports: Vec<SearchReport> =
-            shard_outputs.iter().map(|(_, rep)| *rep).collect();
+        let shard_reports: Vec<SearchReport> = gathered
+            .iter()
+            .filter_map(|g| match g {
+                Gathered::Answered(_, report) => Some(*report),
+                _ => None,
+            })
+            .collect();
         let wall_us = shard_reports.iter().map(|r| r.total_us).fold(0.0f64, f64::max);
         let comparisons = shard_reports.iter().map(|r| r.images).sum();
-        ClusterSearchResult { results, shard_reports, wall_us, comparisons }
+        ClusterSearchResult {
+            results,
+            shard_reports,
+            wall_us,
+            comparisons,
+            shards_ok,
+            shards_failed,
+            shards_skipped,
+            degraded,
+        }
     }
 
     /// Rebuild one container's engine from the feature store — the reason
@@ -329,16 +723,22 @@ impl Cluster {
     /// container that restarts (re)loads its shard without touching the
     /// original images.
     ///
+    /// Entries whose stored bytes are missing or fail to decode are
+    /// **skipped and quarantined** (moved under a `quarantine:` key, id
+    /// retired) rather than aborting the whole recovery. On success the
+    /// shard's breaker is reset to `Healthy`.
+    ///
     /// # Errors
-    /// `Corrupt` if a stored payload fails to decode; cache errors from
-    /// re-indexing.
+    /// Cache errors from re-indexing; `Timeout` if the store stops
+    /// answering past the retry budget (shard left untouched).
     ///
     /// # Panics
     /// Panics if `shard` is out of range.
-    pub fn recover_container(&self, shard: usize) -> Result<usize, ClusterError> {
+    pub fn recover_container(&self, shard: usize) -> Result<RecoveryReport, ClusterError> {
         assert!(shard < self.shards.len(), "no such container");
-        // Collect this shard's live textures from the metadata.
-        let members: Vec<(u64, u64)> = {
+        // Collect this shard's live textures from the metadata, in id order
+        // so fault-plan consumption stays deterministic.
+        let mut members: Vec<(u64, u64)> = {
             let shard_of = self.shard_of.lock();
             let live = self.live_key.lock();
             live.iter()
@@ -346,19 +746,71 @@ impl Cluster {
                 .map(|(id, key)| (*id, *key))
                 .collect()
         };
+        members.sort_unstable();
         // Fresh engine; reload from the store under the same internal keys.
         let mut engine = Engine::new(self.cfg.engine.clone());
-        let mut restored = 0usize;
+        let mut report = RecoveryReport::default();
         for (id, key) in &members {
-            let bytes = self.store.get(&Self::key(*id)).ok_or(ClusterError::NotFound(*id))?;
-            let features =
-                wire::decode_features(&bytes).map_err(|_| ClusterError::Corrupt(*id))?;
-            engine.add_reference(*key, &features).map_err(ClusterError::Cache)?;
-            restored += 1;
+            let features = self
+                .store_get(&Self::key(*id))?
+                .and_then(|bytes| wire::decode_features(&bytes).ok());
+            match features {
+                Some(features) => {
+                    engine.add_reference(*key, &features)?;
+                    report.restored += 1;
+                }
+                None => {
+                    self.quarantine(*id);
+                    report.quarantined.push(*id);
+                }
+            }
         }
-        engine.flush().map_err(ClusterError::Cache)?;
+        engine.flush()?;
         *self.shards[shard].lock() = engine;
-        Ok(restored)
+        self.shard_health.lock()[shard].record_success();
+        Ok(report)
+    }
+
+    /// Supervisor pass: rebuild every non-`Healthy` shard from the feature
+    /// store and re-admit it, quarantining unrecoverable entries.
+    ///
+    /// # Errors
+    /// Propagates [`Cluster::recover_container`] errors (healing stops at
+    /// the first shard that cannot be rebuilt; earlier shards stay healed).
+    pub fn heal(&self) -> Result<HealReport, ClusterError> {
+        let unhealthy: Vec<usize> = {
+            let states = self.shard_health.lock();
+            states
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.health() != ShardHealth::Healthy)
+                .map(|(i, _)| i)
+                .collect()
+        };
+        let mut report = HealReport::default();
+        for shard in unhealthy {
+            let rec = self.recover_container(shard)?;
+            report.restored += rec.restored;
+            report.quarantined.extend(rec.quarantined);
+            report.healed.push(shard);
+        }
+        Ok(report)
+    }
+
+    /// Per-shard breaker snapshot (the REST `/health` payload).
+    pub fn health(&self) -> Vec<ShardStatus> {
+        self.shard_health
+            .lock()
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ShardStatus {
+                shard: i,
+                health: s.health(),
+                consecutive_failures: s.consecutive_failures,
+                total_failures: s.total_failures,
+                probes: s.probes,
+            })
+            .collect()
     }
 
     /// Cluster statistics (the REST `/stats` payload).
@@ -375,11 +827,26 @@ impl Cluster {
             self.cfg.engine.cache.host_capacity_bytes,
             per_ref,
         );
+        let (healthy, suspect, down) = {
+            let states = self.shard_health.lock();
+            states.iter().fold((0, 0, 0), |(h, s, d), st| match st.health() {
+                ShardHealth::Healthy => (h + 1, s, d),
+                ShardHealth::Suspect => (h, s + 1, d),
+                ShardHealth::Down => (h, s, d + 1),
+            })
+        };
         ClusterStats {
             containers: self.shards.len(),
-            textures: self.store.len(),
+            textures: self.len(),
             store_bytes: self.store.used_bytes(),
             capacity_images: per_container * self.shards.len() as u64,
+            shards_healthy: healthy,
+            shards_suspect: suspect,
+            shards_down: down,
+            total_searches: self.total_searches.load(Ordering::Relaxed),
+            degraded_searches: self.degraded_searches.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            faults_injected: self.fault_plan.as_ref().map_or(0, |p| p.injected()),
         }
     }
 }
@@ -387,12 +854,13 @@ impl Cluster {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultPlan;
     use rand::SeedableRng;
     use texid_image::{CaptureCondition, TextureGenerator};
     use texid_sift::{extract, SiftConfig};
 
-    fn small_cluster(containers: usize) -> Cluster {
-        Cluster::new(ClusterConfig {
+    fn small_config(containers: usize) -> ClusterConfig {
+        ClusterConfig {
             containers,
             engine: EngineConfig {
                 m_ref: 128,
@@ -401,7 +869,12 @@ mod tests {
                 streams: 1,
                 ..EngineConfig::default()
             },
-        })
+            ..ClusterConfig::default()
+        }
+    }
+
+    fn small_cluster(containers: usize) -> Cluster {
+        Cluster::new(small_config(containers))
     }
 
     fn features(seed: u64, n: usize) -> FeatureMatrix {
@@ -427,6 +900,9 @@ mod tests {
         assert_eq!(out.comparisons, 6);
         assert_eq!(out.shard_reports.len(), 3);
         assert!(out.images_per_second() > 0.0);
+        assert!(!out.degraded);
+        assert_eq!(out.shards_ok, 3);
+        assert_eq!(out.shards_failed, 0);
     }
 
     #[test]
@@ -509,8 +985,9 @@ mod tests {
         *cluster.shards[0].lock() = Engine::new(cluster.cfg.engine.clone());
         let degraded = cluster.search(&query_for(6), 3);
 
-        let restored = cluster.recover_container(0).unwrap();
-        assert!(restored > 0, "shard 0 held nothing?");
+        let recovery = cluster.recover_container(0).unwrap();
+        assert!(recovery.restored > 0, "shard 0 held nothing?");
+        assert!(recovery.quarantined.is_empty());
         let after = cluster.search(&query_for(6), 3);
 
         assert_eq!(before.results, after.results, "recovery changed results");
@@ -526,8 +1003,8 @@ mod tests {
             cluster.add_texture(id, &features(id, 128)).unwrap();
         }
         cluster.delete_texture(1).unwrap();
-        let restored = cluster.recover_container(0).unwrap();
-        assert_eq!(restored, 3);
+        let recovery = cluster.recover_container(0).unwrap();
+        assert_eq!(recovery.restored, 3);
         let out = cluster.search(&query_for(1), 4);
         assert!(out.results.iter().all(|(id, _)| *id != 1));
     }
@@ -559,5 +1036,164 @@ mod tests {
         assert_eq!(s.textures, 1);
         assert!(s.store_bytes > 0);
         assert!(s.capacity_images > 1_000_000, "capacity {}", s.capacity_images);
+        assert_eq!(s.shards_healthy, 2);
+        assert_eq!(s.shards_down, 0);
+        assert_eq!(s.faults_injected, 0);
+    }
+
+    #[test]
+    fn injected_crash_degrades_but_returns() {
+        let plan = FaultPlan::new(11).crash_shard(1);
+        let cluster = Cluster::with_faults(small_config(3), Some(plan));
+        for id in 0..6u64 {
+            cluster.add_texture(id, &features(id, 128)).unwrap();
+        }
+        let out = cluster.search(&query_for(4), 3);
+        assert!(out.degraded);
+        assert_eq!(out.shards_failed, 1);
+        assert_eq!(out.shards_ok, 2);
+        assert!(out.comparisons < 6);
+        assert_eq!(cluster.fault_plan().unwrap().injected(), 1);
+
+        // The crash is one-shot: the next search is whole again.
+        let next = cluster.search(&query_for(4), 3);
+        assert!(!next.degraded);
+        assert_eq!(next.results[0].0, 4);
+        let s = cluster.stats();
+        assert_eq!(s.total_searches, 2);
+        assert_eq!(s.degraded_searches, 1);
+    }
+
+    #[test]
+    fn breaker_trips_skips_then_readmits() {
+        // Crash shard 0 on three consecutive searches: breaker trips.
+        let plan = FaultPlan::new(5)
+            .crash_shard_after(0, 0)
+            .crash_shard_after(0, 0)
+            .crash_shard_after(0, 0);
+        let cluster = Cluster::with_faults(small_config(2), Some(plan));
+        for id in 0..4u64 {
+            cluster.add_texture(id, &features(id, 128)).unwrap();
+        }
+        let q = query_for(1);
+        for _ in 0..3 {
+            let out = cluster.search(&q, 2);
+            assert_eq!(out.shards_failed, 1);
+        }
+        assert_eq!(cluster.health()[0].health, ShardHealth::Down);
+
+        // Cooldown search 1: skipped, not failed.
+        let out = cluster.search(&q, 2);
+        assert_eq!(out.shards_skipped, 1);
+        assert_eq!(out.shards_failed, 0);
+        assert!(out.degraded);
+
+        // Cooldown reached: half-open probe succeeds (budget exhausted),
+        // shard re-admitted.
+        let out = cluster.search(&q, 2);
+        assert_eq!(out.shards_ok, 2);
+        assert!(!out.degraded);
+        let health = cluster.health();
+        assert_eq!(health[0].health, ShardHealth::Healthy);
+        assert_eq!(health[0].probes, 1);
+        assert_eq!(health[0].total_failures, 3);
+    }
+
+    #[test]
+    fn transient_search_faults_retry_then_exhaust() {
+        // Two transient faults: retried within budget, search succeeds.
+        let plan = FaultPlan::new(3).transient_search(0, 2);
+        let cluster = Cluster::with_faults(small_config(1), Some(plan));
+        cluster.add_texture(0, &features(0, 128)).unwrap();
+        let out = cluster.search(&query_for(0), 1);
+        assert!(!out.degraded, "{out:?}");
+        assert_eq!(cluster.stats().retries, 2);
+
+        // More transients than the retry budget: the leg fails fast.
+        let plan = FaultPlan::new(3).transient_search(0, 10);
+        let cluster = Cluster::with_faults(small_config(1), Some(plan));
+        cluster.add_texture(0, &features(0, 128)).unwrap();
+        let out = cluster.search(&query_for(0), 1);
+        assert!(out.degraded);
+        assert_eq!(out.shards_failed, 1);
+        assert!(out.results.is_empty());
+    }
+
+    #[test]
+    fn straggler_slows_wall_time_only() {
+        let baseline_cluster = small_cluster(2);
+        for id in 0..4u64 {
+            baseline_cluster.add_texture(id, &features(id, 128)).unwrap();
+        }
+        let baseline = baseline_cluster.search(&query_for(1), 2);
+
+        let plan = FaultPlan::new(9).straggle_shard(0, 8.0, 1);
+        let cluster = Cluster::with_faults(small_config(2), Some(plan));
+        for id in 0..4u64 {
+            cluster.add_texture(id, &features(id, 128)).unwrap();
+        }
+        let slowed = cluster.search(&query_for(1), 2);
+        assert!(!slowed.degraded, "straggler is slow, not failed");
+        assert_eq!(slowed.results, baseline.results);
+        assert!(slowed.wall_us > baseline.wall_us, "{} vs {}", slowed.wall_us, baseline.wall_us);
+    }
+
+    #[test]
+    fn corrupt_store_entry_quarantined_on_recover() {
+        let plan = FaultPlan::new(21).corrupt_kv_reads(1);
+        let cluster = Cluster::with_faults(small_config(1), Some(plan));
+        for id in 0..3u64 {
+            cluster.add_texture(id, &features(id, 128)).unwrap();
+        }
+        // Recovery reads members in id order: id 0 draws the corrupt read.
+        let recovery = cluster.recover_container(0).unwrap();
+        assert_eq!(recovery.restored, 2);
+        assert_eq!(recovery.quarantined, vec![0]);
+        assert_eq!(cluster.len(), 2);
+        assert!(cluster.store().exists("quarantine:tex:00000000000000000000"));
+        // Quarantined ids vanish from results.
+        let out = cluster.search(&query_for(0), 3);
+        assert!(out.results.iter().all(|(id, _)| *id != 0));
+    }
+
+    #[test]
+    fn heal_rebuilds_all_unhealthy_shards() {
+        let plan = FaultPlan::new(7).crash_shard(0).crash_shard(2);
+        let cluster = Cluster::with_faults(small_config(3), Some(plan));
+        for id in 0..6u64 {
+            cluster.add_texture(id, &features(id, 128)).unwrap();
+        }
+        let out = cluster.search(&query_for(4), 3);
+        assert_eq!(out.shards_failed, 2);
+
+        let heal = cluster.heal().unwrap();
+        assert_eq!(heal.healed, vec![0, 2]);
+        assert!(heal.restored > 0);
+        assert!(heal.quarantined.is_empty());
+        assert!(cluster.health().iter().all(|s| s.health == ShardHealth::Healthy));
+
+        let after = cluster.search(&query_for(4), 3);
+        assert!(!after.degraded);
+        assert_eq!(after.results[0].0, 4);
+        assert_eq!(after.comparisons, 6);
+    }
+
+    #[test]
+    fn kv_write_retries_exhaust_to_unavailable() {
+        let plan = FaultPlan::new(13).transient_kv_writes(10);
+        let cluster = Cluster::with_faults(small_config(1), Some(plan));
+        let err = cluster.add_texture(0, &features(0, 64)).unwrap_err();
+        assert!(matches!(err, ClusterError::Unavailable(_)), "{err:?}");
+        assert!(cluster.is_empty());
+    }
+
+    #[test]
+    fn kv_read_timeout_after_retry_budget() {
+        let plan = FaultPlan::new(17).transient_kv_reads(10);
+        let cluster = Cluster::with_faults(small_config(1), Some(plan));
+        // Write path is clean (rules are read-scoped).
+        cluster.add_texture(0, &features(0, 64)).unwrap();
+        let err = cluster.get_texture(0).unwrap_err();
+        assert!(matches!(err, ClusterError::Timeout(_)), "{err:?}");
     }
 }

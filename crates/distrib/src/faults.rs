@@ -1,0 +1,406 @@
+//! Deterministic fault injection for the distributed cluster.
+//!
+//! Production clusters (the paper's 14-container deployment, §8) lose
+//! shards, suffer stragglers, and see storage bit-rot; a reproduction that
+//! only models the happy path cannot claim the headline throughput is
+//! *servable*. This module provides a seeded [`FaultPlan`] that the
+//! [`Cluster`](crate::cluster::Cluster) consults at well-defined operation
+//! points and that injects:
+//!
+//! * **shard crashes** — the shard worker panics mid-search;
+//! * **straggler slowdowns** — a shard's simulated `total_us` is scaled;
+//! * **KV loss / corruption** — a feature-store read returns nothing, or
+//!   deterministically mangled bytes;
+//! * **transient I/O errors** — an operation fails and is worth retrying.
+//!
+//! # Determinism contract
+//!
+//! There is **no wall-clock entropy anywhere**: every decision is a pure
+//! function of `(seed, decision index)` plus the scripted rule set, and the
+//! cluster calls [`FaultPlan::decide`] only from sequential, deterministic
+//! code paths (never concurrently). Re-running the same workload against
+//! the same plan therefore reproduces the exact failure sequence — the
+//! property the chaos suite (`tests/chaos.rs`) is built on.
+//!
+//! The default is no plan at all (`Option<FaultPlan> = None` inside the
+//! cluster), so production paths pay a single branch.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What kind of fault fires at an operation point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultKind {
+    /// The shard worker panics (as a real container OOM/segfault would).
+    ShardCrash,
+    /// The shard completes but its simulated time is scaled by `factor`.
+    Straggler {
+        /// Slowdown multiplier applied to the shard's simulated time.
+        factor: f64,
+    },
+    /// A feature-store read finds nothing (entry lost).
+    KvLoss,
+    /// A feature-store read returns deterministically corrupted bytes.
+    KvCorrupt,
+    /// A transient I/O error: the operation fails but a retry may succeed.
+    Transient,
+}
+
+/// The operation classes the cluster exposes to fault injection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpClass {
+    /// One shard's share of a scatter-gather search (flush + match).
+    SearchShard,
+    /// A feature-store read (search recovery, `get_texture`, `verify`).
+    KvRead,
+    /// A feature-store write (`add_texture`, `update_texture`).
+    KvWrite,
+}
+
+/// One operation point, described to [`FaultPlan::decide`].
+#[derive(Clone, Copy, Debug)]
+pub struct FaultOp<'a> {
+    /// Operation class.
+    pub class: OpClass,
+    /// Shard index for shard-scoped operations.
+    pub shard: Option<usize>,
+    /// Store key for KV operations.
+    pub key: Option<&'a str>,
+}
+
+impl<'a> FaultOp<'a> {
+    /// A shard's search leg.
+    pub fn search_shard(shard: usize) -> FaultOp<'a> {
+        FaultOp { class: OpClass::SearchShard, shard: Some(shard), key: None }
+    }
+
+    /// A store read of `key`.
+    pub fn kv_read(key: &'a str) -> FaultOp<'a> {
+        FaultOp { class: OpClass::KvRead, shard: None, key: Some(key) }
+    }
+
+    /// A store write of `key`.
+    pub fn kv_write(key: &'a str) -> FaultOp<'a> {
+        FaultOp { class: OpClass::KvWrite, shard: None, key: Some(key) }
+    }
+}
+
+/// Per-class probabilities for seeded chaos mode (all default to 0).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultProbs {
+    /// P(shard crash) per search leg.
+    pub shard_crash: f64,
+    /// P(straggler) per search leg.
+    pub straggler: f64,
+    /// P(transient error) per operation (any class).
+    pub transient: f64,
+    /// P(lost entry) per store read.
+    pub kv_loss: f64,
+    /// P(corrupted bytes) per store read.
+    pub kv_corrupt: f64,
+}
+
+/// A scripted injection: fire `kind` on the nth..nth+count'th matching op.
+#[derive(Debug)]
+struct Rule {
+    class: OpClass,
+    shard: Option<usize>,
+    kind: FaultKind,
+    /// Matching operations let through before the rule starts firing.
+    skip: u64,
+    /// Injections remaining.
+    budget: AtomicU64,
+    /// Matching operations seen so far.
+    seen: AtomicU64,
+}
+
+/// A deterministic, seeded fault schedule.
+///
+/// Scripted rules (exact "crash shard 2 on its first search leg" style) are
+/// checked first; if none fires, the seeded probabilistic chaos mode draws
+/// from a counter-indexed SplitMix64 stream.
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    probs: FaultProbs,
+    rules: Vec<Rule>,
+    draws: AtomicU64,
+    injected: AtomicU64,
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn unit(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl FaultPlan {
+    /// An empty plan: injects nothing until rules or probabilities are added.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            probs: FaultProbs::default(),
+            rules: Vec::new(),
+            draws: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Seeded chaos mode: every operation rolls against `probs`.
+    pub fn chaos(seed: u64, probs: FaultProbs) -> FaultPlan {
+        FaultPlan { probs, ..FaultPlan::new(seed) }
+    }
+
+    fn rule(mut self, class: OpClass, shard: Option<usize>, kind: FaultKind, skip: u64, count: u64) -> Self {
+        self.rules.push(Rule {
+            class,
+            shard,
+            kind,
+            skip,
+            budget: AtomicU64::new(count),
+            seen: AtomicU64::new(0),
+        });
+        self
+    }
+
+    /// Crash `shard`'s next search leg (once).
+    pub fn crash_shard(self, shard: usize) -> Self {
+        self.crash_shard_after(shard, 0)
+    }
+
+    /// Crash `shard`'s search leg after letting `skip` legs succeed.
+    pub fn crash_shard_after(self, shard: usize, skip: u64) -> Self {
+        self.rule(OpClass::SearchShard, Some(shard), FaultKind::ShardCrash, skip, 1)
+    }
+
+    /// Slow `shard` down by `factor` on its next `count` search legs.
+    pub fn straggle_shard(self, shard: usize, factor: f64, count: u64) -> Self {
+        self.rule(OpClass::SearchShard, Some(shard), FaultKind::Straggler { factor }, 0, count)
+    }
+
+    /// Fail `shard`'s next `count` search legs with transient errors.
+    pub fn transient_search(self, shard: usize, count: u64) -> Self {
+        self.rule(OpClass::SearchShard, Some(shard), FaultKind::Transient, 0, count)
+    }
+
+    /// Lose the next `count` feature-store reads.
+    pub fn lose_kv_reads(self, count: u64) -> Self {
+        self.rule(OpClass::KvRead, None, FaultKind::KvLoss, 0, count)
+    }
+
+    /// Corrupt the next `count` feature-store reads.
+    pub fn corrupt_kv_reads(self, count: u64) -> Self {
+        self.rule(OpClass::KvRead, None, FaultKind::KvCorrupt, 0, count)
+    }
+
+    /// Fail the next `count` feature-store reads transiently.
+    pub fn transient_kv_reads(self, count: u64) -> Self {
+        self.rule(OpClass::KvRead, None, FaultKind::Transient, 0, count)
+    }
+
+    /// Fail the next `count` feature-store writes transiently.
+    pub fn transient_kv_writes(self, count: u64) -> Self {
+        self.rule(OpClass::KvWrite, None, FaultKind::Transient, 0, count)
+    }
+
+    /// Decide what (if anything) to inject at `op`.
+    ///
+    /// Called by the cluster from sequential code only — see the module
+    /// docs' determinism contract.
+    pub fn decide(&self, op: FaultOp<'_>) -> Option<FaultKind> {
+        // Scripted rules first, in declaration order.
+        for rule in &self.rules {
+            if rule.class != op.class {
+                continue;
+            }
+            if let (Some(want), Some(got)) = (rule.shard, op.shard) {
+                if want != got {
+                    continue;
+                }
+            } else if rule.shard.is_some() {
+                continue;
+            }
+            let seen = rule.seen.fetch_add(1, Ordering::Relaxed);
+            if seen < rule.skip {
+                continue;
+            }
+            // Claim one unit of budget (saturating at zero).
+            let claimed = rule
+                .budget
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| b.checked_sub(1))
+                .is_ok();
+            if claimed {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                return Some(rule.kind);
+            }
+        }
+
+        // Seeded chaos: one uniform draw, mass split over the class's kinds.
+        let candidates: &[(f64, FaultKind)] = match op.class {
+            OpClass::SearchShard => &[
+                (self.probs.shard_crash, FaultKind::ShardCrash),
+                (self.probs.straggler, FaultKind::Straggler { factor: 0.0 }),
+                (self.probs.transient, FaultKind::Transient),
+            ],
+            OpClass::KvRead => &[
+                (self.probs.kv_loss, FaultKind::KvLoss),
+                (self.probs.kv_corrupt, FaultKind::KvCorrupt),
+                (self.probs.transient, FaultKind::Transient),
+            ],
+            OpClass::KvWrite => &[(self.probs.transient, FaultKind::Transient)],
+        };
+        if candidates.iter().all(|(p, _)| *p <= 0.0) {
+            return None;
+        }
+        let draw = self.draws.fetch_add(1, Ordering::Relaxed);
+        let bits = splitmix(self.seed ^ draw.wrapping_mul(0xd6e8_feb8_6659_fd93));
+        let mut u = unit(bits);
+        for (p, kind) in candidates {
+            if u < *p {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                return Some(match kind {
+                    // Straggler factor derived from a second mix: 2x..16x.
+                    FaultKind::Straggler { .. } => {
+                        FaultKind::Straggler { factor: 2.0 + 14.0 * unit(splitmix(bits)) }
+                    }
+                    other => *other,
+                });
+            }
+            u -= p;
+        }
+        None
+    }
+
+    /// Deterministically mangle stored bytes (truncate + flip the header)
+    /// so the wire decoder reliably reports corruption.
+    pub fn corrupt_bytes(&self, bytes: &mut Vec<u8>) {
+        bytes.truncate(bytes.len() / 2);
+        if let Some(b) = bytes.first_mut() {
+            *b ^= 0xa5;
+        }
+    }
+
+    /// Total faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+}
+
+/// Deterministic exponential backoff schedule for bounded retries.
+///
+/// Delays are *simulated* microseconds (they are accounted, not slept):
+/// `base_us * 2^attempt`, attempt 0-indexed.
+#[derive(Clone, Copy, Debug)]
+pub struct Backoff {
+    /// First-retry delay, µs.
+    pub base_us: f64,
+    /// Maximum retry attempts after the initial try.
+    pub max_retries: u32,
+}
+
+impl Default for Backoff {
+    fn default() -> Backoff {
+        Backoff { base_us: 100.0, max_retries: 3 }
+    }
+}
+
+impl Backoff {
+    /// Simulated delay before retry `attempt` (0-indexed).
+    pub fn delay_us(&self, attempt: u32) -> f64 {
+        self.base_us * (1u64 << attempt.min(20)) as f64
+    }
+
+    /// Total simulated delay for `attempts` retries.
+    pub fn total_us(&self, attempts: u32) -> f64 {
+        (0..attempts).map(|a| self.delay_us(a)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_rule_fires_at_the_right_occurrence() {
+        let plan = FaultPlan::new(1).crash_shard_after(2, 1);
+        // First leg of shard 2 passes, second crashes, third passes.
+        assert_eq!(plan.decide(FaultOp::search_shard(2)), None);
+        assert_eq!(plan.decide(FaultOp::search_shard(0)), None);
+        assert_eq!(plan.decide(FaultOp::search_shard(2)), Some(FaultKind::ShardCrash));
+        assert_eq!(plan.decide(FaultOp::search_shard(2)), None);
+        assert_eq!(plan.injected(), 1);
+    }
+
+    #[test]
+    fn budgets_are_finite() {
+        let plan = FaultPlan::new(1).transient_kv_reads(2);
+        assert_eq!(plan.decide(FaultOp::kv_read("k")), Some(FaultKind::Transient));
+        assert_eq!(plan.decide(FaultOp::kv_read("k")), Some(FaultKind::Transient));
+        assert_eq!(plan.decide(FaultOp::kv_read("k")), None);
+    }
+
+    #[test]
+    fn chaos_mode_is_seed_deterministic() {
+        let probs = FaultProbs { shard_crash: 0.2, straggler: 0.2, transient: 0.2, ..Default::default() };
+        let a = FaultPlan::chaos(99, probs);
+        let b = FaultPlan::chaos(99, probs);
+        let seq_a: Vec<_> = (0..64).map(|i| a.decide(FaultOp::search_shard(i % 4))).collect();
+        let seq_b: Vec<_> = (0..64).map(|i| b.decide(FaultOp::search_shard(i % 4))).collect();
+        assert_eq!(seq_a, seq_b);
+        assert!(a.injected() > 0, "probabilities too low to test anything");
+
+        let c = FaultPlan::chaos(100, probs);
+        let seq_c: Vec<_> = (0..64).map(|i| c.decide(FaultOp::search_shard(i % 4))).collect();
+        assert_ne!(seq_a, seq_c, "different seeds should differ");
+    }
+
+    #[test]
+    fn chaos_respects_zero_probabilities() {
+        let plan = FaultPlan::chaos(7, FaultProbs::default());
+        for i in 0..128 {
+            assert_eq!(plan.decide(FaultOp::search_shard(i)), None);
+        }
+        assert_eq!(plan.injected(), 0);
+    }
+
+    #[test]
+    fn straggler_factors_are_bounded() {
+        let probs = FaultProbs { straggler: 1.0, ..Default::default() };
+        let plan = FaultPlan::chaos(3, probs);
+        for i in 0..32 {
+            match plan.decide(FaultOp::search_shard(i)) {
+                Some(FaultKind::Straggler { factor }) => {
+                    assert!((2.0..=16.0).contains(&factor), "{factor}");
+                }
+                other => panic!("expected straggler, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_is_detectable_and_deterministic() {
+        let plan = FaultPlan::new(5);
+        let original = vec![1u8, 2, 3, 4, 5, 6, 7, 8];
+        let mut a = original.clone();
+        let mut b = original.clone();
+        plan.corrupt_bytes(&mut a);
+        plan.corrupt_bytes(&mut b);
+        assert_eq!(a, b);
+        assert_ne!(a, original);
+        assert!(a.len() < original.len());
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_bounded() {
+        let b = Backoff { base_us: 100.0, max_retries: 3 };
+        assert_eq!(b.delay_us(0), 100.0);
+        assert_eq!(b.delay_us(1), 200.0);
+        assert_eq!(b.delay_us(2), 400.0);
+        assert_eq!(b.total_us(3), 700.0);
+        assert_eq!(b.total_us(0), 0.0);
+    }
+}

@@ -1,14 +1,28 @@
 //! Minimal HTTP/1.1 server and client over `std::net`.
 //!
 //! Just enough protocol for the REST API containers of Fig. 6: request-line
-//! + headers + `Content-Length` bodies, `Connection: close` semantics, one
-//! thread per connection. No TLS, chunking, or keep-alive — deliberately
+//! plus headers plus `Content-Length` bodies, `Connection: close` semantics,
+//! one thread per connection. No TLS, chunking, or keep-alive — deliberately
 //! small, fully tested.
+//!
+//! Hardening: request bodies are capped at [`MAX_BODY_BYTES`] (the server
+//! answers 413 instead of allocating attacker-controlled sizes), and every
+//! accepted connection gets read/write timeouts so a stalled peer cannot
+//! pin a handler thread forever.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Largest accepted request body. A full 384-feature matrix is ~200 KiB on
+/// the wire (~270 KiB base64 inside JSON), so 64 MiB leaves two orders of
+/// magnitude of headroom while bounding per-connection allocations.
+pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+
+/// Per-connection socket read/write timeout.
+pub const IO_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// A parsed HTTP request.
 #[derive(Clone, Debug)]
@@ -64,13 +78,51 @@ fn status_text(code: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        413 => "Payload Too Large",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
 
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum RequestError {
+    /// The declared `Content-Length` exceeds [`MAX_BODY_BYTES`].
+    TooLarge {
+        /// The declared length.
+        declared: u64,
+    },
+    /// Transport-level failure (including timeouts).
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::TooLarge { declared } => {
+                write!(f, "declared body of {declared} bytes exceeds {MAX_BODY_BYTES}")
+            }
+            RequestError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+impl From<std::io::Error> for RequestError {
+    fn from(e: std::io::Error) -> RequestError {
+        RequestError::Io(e)
+    }
+}
+
 /// Read one request from a stream. Returns `None` on immediate EOF.
-pub fn read_request(stream: &mut impl Read) -> std::io::Result<Option<Request>> {
+///
+/// # Errors
+/// [`RequestError::TooLarge`] when the declared `Content-Length` exceeds
+/// [`MAX_BODY_BYTES`] — the body is *not* read, let alone allocated;
+/// [`RequestError::Io`] on transport failures.
+pub fn read_request(stream: &mut impl Read) -> Result<Option<Request>, RequestError> {
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     if reader.read_line(&mut line)? == 0 {
@@ -82,7 +134,7 @@ pub fn read_request(stream: &mut impl Read) -> std::io::Result<Option<Request>> 
     let path = parts.next().ok_or_else(bad)?.to_string();
 
     let mut headers = Vec::new();
-    let mut content_length = 0usize;
+    let mut content_length = 0u64;
     loop {
         let mut h = String::new();
         if reader.read_line(&mut h)? == 0 {
@@ -101,7 +153,10 @@ pub fn read_request(stream: &mut impl Read) -> std::io::Result<Option<Request>> 
             headers.push((k, v));
         }
     }
-    let mut body = vec![0u8; content_length];
+    if content_length > MAX_BODY_BYTES as u64 {
+        return Err(RequestError::TooLarge { declared: content_length });
+    }
+    let mut body = vec![0u8; content_length as usize];
     reader.read_exact(&mut body)?;
     Ok(Some(Request { method, path, headers, body }))
 }
@@ -145,11 +200,18 @@ impl HttpServer {
                 let Ok(mut stream) = conn else { continue };
                 let handler = handler.clone();
                 std::thread::spawn(move || {
-                    let req = match read_request(&mut stream) {
-                        Ok(Some(r)) => r,
-                        _ => return,
+                    // A stalled or malicious peer only costs this thread
+                    // IO_TIMEOUT, never an unbounded hang.
+                    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+                    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+                    let resp = match read_request(&mut stream) {
+                        Ok(Some(req)) => handler(&req),
+                        Ok(None) => return,
+                        Err(RequestError::TooLarge { .. }) => {
+                            Response::json(413, r#"{"error":"request body too large"}"#.to_string())
+                        }
+                        Err(RequestError::Io(_)) => return,
                     };
-                    let resp = handler(&req);
                     let _ = write_response(&mut stream, &resp);
                     let _ = stream.flush();
                 });
@@ -326,5 +388,42 @@ mod tests {
     fn eof_yields_none() {
         let raw: &[u8] = b"";
         assert!(read_request(&mut &raw[..]).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_content_length_rejected_without_allocation() {
+        // Declares 1 TiB; read_request must refuse before reading a body.
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 1099511627776\r\n\r\n";
+        match read_request(&mut &raw[..]) {
+            Err(RequestError::TooLarge { declared }) => {
+                assert_eq!(declared, 1_099_511_627_776);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        // At the limit exactly, the size is accepted (body read then fails
+        // on EOF, which is an Io error, not TooLarge).
+        let raw = format!("POST /x HTTP/1.1\r\nContent-Length: {MAX_BODY_BYTES}\r\n\r\n");
+        assert!(matches!(read_request(&mut raw.as_bytes()), Err(RequestError::Io(_))));
+    }
+
+    #[test]
+    fn server_answers_413_for_huge_declared_body() {
+        let server = echo_server();
+        // Hand-rolled request: huge Content-Length, no actual body sent.
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        write!(stream, "POST /big HTTP/1.1\r\nContent-Length: 999999999999\r\n\r\n").unwrap();
+        stream.flush().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line).unwrap();
+        assert!(status_line.contains("413"), "{status_line}");
+        assert!(status_line.contains("Payload Too Large"), "{status_line}");
+    }
+
+    #[test]
+    fn status_texts_cover_resilience_codes() {
+        assert_eq!(status_text(413), "Payload Too Large");
+        assert_eq!(status_text(503), "Service Unavailable");
+        assert_eq!(status_text(999), "Unknown");
     }
 }

@@ -54,6 +54,14 @@ impl Json {
         }
     }
 
+    /// Boolean accessor.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// String accessor.
     pub fn as_str(&self) -> Option<&str> {
         match self {
@@ -335,6 +343,8 @@ mod tests {
         assert_eq!(v.get("name").unwrap().as_str(), Some("tea"));
         assert_eq!(v.get("scores").unwrap().as_arr().unwrap().len(), 3);
         assert_eq!(v.get("meta").unwrap().get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("meta").unwrap().get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("id").unwrap().as_bool(), None);
         // Serialize → parse is identity.
         let again = parse(&v.to_string()).unwrap();
         assert_eq!(again, v);

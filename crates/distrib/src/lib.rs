@@ -12,15 +12,24 @@
 //!   protobuf).
 //! * **REST API** ([`http`], [`api`], [`json`], [`b64`]): a minimal
 //!   HTTP/1.1 + JSON stack over `std::net` exposing add / delete / update /
-//!   search / stats, like the paper's web-service containers.
+//!   search / stats / health, like the paper's web-service containers.
+//! * **Fault injection** ([`faults`]): a deterministic, seeded fault plan
+//!   (shard crashes, stragglers, KV loss/corruption, transient errors)
+//!   driving the cluster's degraded-mode scatter-gather, circuit breakers,
+//!   and [`cluster::Cluster::heal`] supervisor.
 
 pub mod api;
 pub mod b64;
 pub mod cluster;
+pub mod faults;
 pub mod http;
 pub mod json;
 pub mod kv;
 pub mod wire;
 
-pub use cluster::{Cluster, ClusterConfig, ClusterStats};
+pub use cluster::{
+    Cluster, ClusterConfig, ClusterError, ClusterSearchResult, ClusterStats, HealReport,
+    RecoveryReport, ResilienceConfig, ShardHealth, ShardStatus,
+};
+pub use faults::{Backoff, FaultKind, FaultOp, FaultPlan, FaultProbs, OpClass};
 pub use kv::KvStore;

@@ -149,7 +149,7 @@ impl TextureGenerator {
             let cx: f32 = rng.gen_range(0.0..size);
             let cy: f32 = rng.gen_range(0.0..size);
             let major: f32 = rng.gen_range(1.8..7.0);
-            let minor: f32 = rng.gen_range(1.0..major.min(3.5).max(1.1));
+            let minor: f32 = rng.gen_range(1.0..major.clamp(1.1, 3.5));
             let angle: f32 = rng.gen_range(0.0..core::f32::consts::PI);
             let delta: f32 = rng.gen_range(0.15..0.40) * if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
             let (sa, ca) = angle.sin_cos();

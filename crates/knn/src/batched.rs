@@ -84,31 +84,33 @@ pub fn match_batch(
     let m_rows = batch * m_per_ref;
 
     // ---- timing ----
-    let mut steps = StepTimes::default();
-    steps.gemm_us = sim
-        .launch(stream, Kernel::Gemm {
-            m_rows,
-            n_cols: n,
-            k_depth: d,
-            precision: cfg.precision,
-            tensor_core: cfg.tensor_core,
-        })
-        .duration_us();
-    // One scan thread per (reference, query-feature) pair: batch × n
-    // columns of m_per_ref rows — the ~0.8 M sorting tasks of §5.3.
-    steps.sort_us = sim
-        .launch(stream, Kernel::Top2Scan {
-            m_rows: m_per_ref,
-            n_cols: batch * n,
-            precision: cfg.precision,
-        })
-        .duration_us();
-    steps.d2h_us = sim
-        .d2h(stream, (batch * n) as u64 * D2H_BYTES_PER_QUERY_FEATURE)
-        .duration_us();
-    steps.post_us = sim
-        .host_work(stream, cost::cpu_post_us(sim.spec(), batch))
-        .duration_us();
+    let steps = StepTimes {
+        gemm_us: sim
+            .launch(stream, Kernel::Gemm {
+                m_rows,
+                n_cols: n,
+                k_depth: d,
+                precision: cfg.precision,
+                tensor_core: cfg.tensor_core,
+            })
+            .duration_us(),
+        // One scan thread per (reference, query-feature) pair: batch × n
+        // columns of m_per_ref rows — the ~0.8 M sorting tasks of §5.3.
+        sort_us: sim
+            .launch(stream, Kernel::Top2Scan {
+                m_rows: m_per_ref,
+                n_cols: batch * n,
+                precision: cfg.precision,
+            })
+            .duration_us(),
+        d2h_us: sim
+            .d2h(stream, (batch * n) as u64 * D2H_BYTES_PER_QUERY_FEATURE)
+            .duration_us(),
+        post_us: sim
+            .host_work(stream, cost::cpu_post_us(sim.spec(), batch))
+            .duration_us(),
+        ..StepTimes::default()
+    };
 
     if cfg.exec == ExecMode::TimingOnly {
         return BatchOutcome { scores: Vec::new(), top2: Vec::new(), steps, batch };

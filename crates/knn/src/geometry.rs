@@ -218,10 +218,11 @@ fn solve8(a: &mut [[f64; 8]; 8], b: &mut [f64; 8]) -> Option<[f64; 8]> {
         a.swap(col, pivot);
         b.swap(col, pivot);
         // Eliminate below.
+        let pivot_row = a[col];
         for row in col + 1..8 {
-            let f = a[row][col] / a[col][col];
-            for c in col..8 {
-                a[row][c] -= f * a[col][c];
+            let f = a[row][col] / pivot_row[col];
+            for (dst, src) in a[row][col..].iter_mut().zip(&pivot_row[col..]) {
+                *dst -= f * src;
             }
             b[row] -= f * b[col];
         }

@@ -98,9 +98,9 @@ proptest! {
         let n_r: Vec<f32> = (0..a.rows()).map(|i| i as f32 * 10.0).collect();
         let mut shifted = a.clone();
         add_row_norms(&mut shifted, &n_r);
-        for i in 0..a.rows() {
+        for (i, &shift) in n_r.iter().enumerate() {
             for j in 0..a.cols() {
-                prop_assert_eq!(shifted.get(i, j), a.get(i, j) + n_r[i]);
+                prop_assert_eq!(shifted.get(i, j), a.get(i, j) + shift);
             }
         }
     }

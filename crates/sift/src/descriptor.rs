@@ -113,10 +113,10 @@ pub fn compute_descriptor(img: &GrayImage, kp: &Keypoint, oct_sigma: f32) -> Opt
     // Collapse the padded grid into the 128-d vector (inner 4×4 cells only).
     let mut desc = [0.0f32; DESCRIPTOR_DIM];
     let mut k = 0;
-    for r in 1..=D {
-        for c in 1..=D {
-            for o in 0..NBINS {
-                desc[k] = hist[r][c][o];
+    for row in &hist[1..=D] {
+        for cell in &row[1..=D] {
+            for &v in cell {
+                desc[k] = v;
                 k += 1;
             }
         }

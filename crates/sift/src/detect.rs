@@ -32,11 +32,10 @@ fn is_extremum(dogs: &[GrayImage], level: usize, x: usize, y: usize) -> bool {
         return false;
     }
     let positive = v > 0.0;
-    for l in level - 1..=level + 1 {
-        let im = &dogs[l];
+    for (dl, im) in dogs[level - 1..=level + 1].iter().enumerate() {
         for dy in -1isize..=1 {
             for dx in -1isize..=1 {
-                if l == level && dx == 0 && dy == 0 {
+                if dl == 1 && dx == 0 && dy == 0 {
                     continue;
                 }
                 let n = im.get((x as isize + dx) as usize, (y as isize + dy) as usize);

@@ -120,13 +120,13 @@ fn detect(ii: &IntegralImage, cfg: &SurfConfig) -> Vec<Candidate> {
                             continue;
                         }
                         let mut is_max = true;
-                        'nms: for lm in level - 1..=level + 1 {
+                        'nms: for (dl, lvl_map) in maps[level - 1..=level + 1].iter().enumerate() {
                             for dy in -1isize..=1 {
                                 for dx in -1isize..=1 {
-                                    if lm == level && dx == 0 && dy == 0 {
+                                    if dl == 1 && dx == 0 && dy == 0 {
                                         continue;
                                     }
-                                    let n = maps[lm]
+                                    let n = lvl_map
                                         [(iy as isize + dy) as usize * gx + (ix as isize + dx) as usize];
                                     if n >= v {
                                         is_max = false;

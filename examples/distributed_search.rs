@@ -25,6 +25,7 @@ fn main() {
     let cluster = Arc::new(Cluster::new(ClusterConfig {
         containers: 4,
         engine: EngineConfig { batch_size: 8, ..EngineConfig::default() },
+        ..ClusterConfig::default()
     }));
     let server = api::serve(cluster.clone(), "127.0.0.1:0").expect("bind");
     let addr = server.addr();

@@ -1,0 +1,228 @@
+//! Chaos suite: seeded fault plans against the distributed cluster.
+//!
+//! Three properties (plus the acceptance scenario and a determinism check):
+//!
+//! 1. Any plan that leaves at least one shard healthy still returns correct
+//!    results for textures living on the healthy shards.
+//! 2. `heal()` after crash/corruption plans restores search results
+//!    identical to an unfaulted twin cluster.
+//! 3. The circuit breaker re-admits a healed shard.
+//!
+//! All fault plans are seeded and scripted — reruns reproduce the same
+//! failure sequences exactly.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use texid_core::EngineConfig;
+use texid_distrib::api;
+use texid_distrib::cluster::{Cluster, ClusterConfig, ShardHealth};
+use texid_distrib::faults::{FaultPlan, FaultProbs};
+use texid_distrib::http::http_call;
+use texid_distrib::json::parse;
+use texid_image::{CaptureCondition, TextureGenerator};
+use texid_sift::{extract, FeatureMatrix, SiftConfig};
+
+fn chaos_config(containers: usize) -> ClusterConfig {
+    ClusterConfig {
+        containers,
+        engine: EngineConfig {
+            m_ref: 128,
+            n_query: 256,
+            batch_size: 2,
+            streams: 1,
+            ..EngineConfig::default()
+        },
+        ..ClusterConfig::default()
+    }
+}
+
+fn reference_features(id: u64) -> FeatureMatrix {
+    let im = TextureGenerator::with_size(128).generate(id);
+    extract(&im, &SiftConfig { max_features: 128, ..SiftConfig::default() })
+}
+
+fn query_features(id: u64) -> FeatureMatrix {
+    let im = TextureGenerator::with_size(128).generate(id);
+    let mut rng = SmallRng::seed_from_u64(id ^ 0x5eed);
+    let q = CaptureCondition::mild(&mut rng).apply(&im, id);
+    extract(&q, &SiftConfig { max_features: 256, ..SiftConfig::default() })
+}
+
+fn populate(cluster: &Cluster, n: u64) {
+    for id in 0..n {
+        cluster.add_texture(id, &reference_features(id)).unwrap();
+    }
+}
+
+/// Property 1: with >= 1 healthy shard, textures on healthy shards are
+/// still found, under several different crash subsets.
+#[test]
+fn healthy_shards_keep_answering() {
+    // Round-robin placement: id i lives on shard i % 3.
+    let crash_sets: &[&[usize]] = &[&[0], &[2], &[0, 1], &[1, 2]];
+    for (seed, crashed) in crash_sets.iter().enumerate() {
+        let mut plan = FaultPlan::new(seed as u64);
+        for &s in *crashed {
+            plan = plan.crash_shard(s);
+        }
+        let cluster = Cluster::with_faults(chaos_config(3), Some(plan));
+        populate(&cluster, 6);
+
+        // Pick a texture on a surviving shard.
+        let surviving_id = (0..6u64)
+            .find(|id| !crashed.contains(&((id % 3) as usize)))
+            .expect("some shard survives");
+        let out = cluster.search(&query_features(surviving_id), 3);
+        assert!(out.degraded, "crash set {crashed:?}");
+        assert_eq!(out.shards_failed, crashed.len(), "crash set {crashed:?}");
+        assert_eq!(out.shards_ok, 3 - crashed.len());
+        assert_eq!(
+            out.results[0].0, surviving_id,
+            "crash set {crashed:?}: {:?}",
+            out.results
+        );
+    }
+}
+
+/// Property 2: after arbitrary crash/corruption fault phases, heal()
+/// restores results identical to an unfaulted twin cluster.
+#[test]
+fn heal_restores_prefault_results() {
+    for seed in [3u64, 17, 99] {
+        let baseline = Cluster::new(chaos_config(3));
+        populate(&baseline, 6);
+
+        // Crashes on two shards, read corruption and transient noise on the
+        // KV path. The corruption budget is consumed by get_texture reads
+        // during the fault phase (read-side corruption does not mutate the
+        // stored bytes), so heal() sees a clean store.
+        let plan = FaultPlan::new(seed)
+            .crash_shard(seed as usize % 3)
+            .crash_shard((seed as usize + 1) % 3)
+            .corrupt_kv_reads(1)
+            .transient_kv_reads(2);
+        let cluster = Cluster::with_faults(chaos_config(3), Some(plan));
+        populate(&cluster, 6);
+
+        // Fault phase: the search absorbs the crashes; reads burn through
+        // the KV fault budgets (errors are expected and tolerated here).
+        let hurt = cluster.search(&query_features(1), 6);
+        assert!(hurt.degraded, "seed {seed}");
+        assert_eq!(hurt.shards_failed, 2);
+        for id in 0..6u64 {
+            let _ = cluster.get_texture(id);
+        }
+
+        let report = cluster.heal().unwrap();
+        assert_eq!(report.healed.len(), 2, "seed {seed}: {report:?}");
+        assert!(report.quarantined.is_empty(), "store bytes were never mutated");
+
+        for probe in [0u64, 1, 4] {
+            let expected = baseline.search(&query_features(probe), 6);
+            let healed = cluster.search(&query_features(probe), 6);
+            assert!(!healed.degraded, "seed {seed}");
+            assert_eq!(healed.results, expected.results, "seed {seed} probe {probe}");
+            assert_eq!(healed.comparisons, expected.comparisons);
+        }
+    }
+}
+
+/// Property 3: a tripped breaker re-admits the shard after heal().
+#[test]
+fn breaker_readmits_healed_shard() {
+    let trip = ClusterConfig::default().resilience.trip_threshold as u64;
+    let mut plan = FaultPlan::new(7);
+    for _ in 0..trip {
+        plan = plan.crash_shard(0);
+    }
+    let cluster = Cluster::with_faults(chaos_config(2), Some(plan));
+    populate(&cluster, 4);
+
+    for i in 0..trip {
+        let out = cluster.search(&query_features(0), 2);
+        assert_eq!(out.shards_failed, 1, "search {i}");
+    }
+    assert_eq!(cluster.health()[0].health, ShardHealth::Down);
+
+    // While Down, the shard is skipped, not re-dispatched.
+    let out = cluster.search(&query_features(0), 2);
+    assert_eq!(out.shards_skipped, 1);
+    assert_eq!(out.shards_failed, 0);
+
+    let report = cluster.heal().unwrap();
+    assert_eq!(report.healed, vec![0]);
+    assert_eq!(cluster.health()[0].health, ShardHealth::Healthy);
+
+    let out = cluster.search(&query_features(0), 2);
+    assert!(!out.degraded);
+    assert_eq!(out.shards_ok, 2);
+    assert_eq!(out.results[0].0, 0);
+}
+
+/// The acceptance scenario end to end: crash 1 of 3 shards mid-search,
+/// observe a degraded (not panicked) result, heal, verify identical
+/// results and an all-healthy REST /health.
+#[test]
+fn acceptance_crash_heal_roundtrip() {
+    // Let the first search through clean, crash shard 1 on the second.
+    let plan = FaultPlan::new(42).crash_shard_after(1, 1);
+    let cluster = Arc::new(Cluster::with_faults(chaos_config(3), Some(plan)));
+    populate(&cluster, 6);
+
+    let prefault = cluster.search(&query_features(4), 3);
+    assert!(!prefault.degraded);
+
+    let hurt = cluster.search(&query_features(4), 3);
+    assert!(hurt.degraded);
+    assert_eq!(hurt.shards_failed, 1);
+    assert_eq!(hurt.shards_ok, 2);
+
+    cluster.heal().unwrap();
+    let healed = cluster.search(&query_features(4), 3);
+    assert_eq!(healed.results, prefault.results);
+    assert!(!healed.degraded);
+
+    let server = api::serve(cluster.clone(), "127.0.0.1:0").unwrap();
+    let resp = http_call(server.addr(), "GET", "/health", b"").unwrap();
+    assert_eq!(resp.status, 200);
+    let v = parse(&resp.text()).unwrap();
+    assert_eq!(v.get("status").and_then(|s| s.as_str()), Some("ok"), "{}", resp.text());
+    let shards = v.get("shards").unwrap().as_arr().unwrap();
+    assert_eq!(shards.len(), 3);
+    for s in shards {
+        assert_eq!(s.get("health").and_then(|h| h.as_str()), Some("healthy"), "{}", resp.text());
+    }
+}
+
+/// Same seed => same failure sequence, observable end to end.
+#[test]
+fn fault_injection_is_deterministic() {
+    let probs = FaultProbs {
+        shard_crash: 0.25,
+        straggler: 0.2,
+        transient: 0.2,
+        ..FaultProbs::default()
+    };
+    type Observation = (bool, usize, usize, Vec<(u64, usize)>);
+    let run = |seed: u64| -> Vec<Observation> {
+        let cluster =
+            Cluster::with_faults(chaos_config(3), Some(FaultPlan::chaos(seed, probs)));
+        populate(&cluster, 6);
+        (0..6)
+            .map(|i| {
+                let out = cluster.search(&query_features(i % 3), 3);
+                (out.degraded, out.shards_failed, out.shards_skipped, out.results)
+            })
+            .collect()
+    };
+    let a = run(1234);
+    let b = run(1234);
+    assert_eq!(a, b, "same seed must reproduce the same failure sequence");
+    assert!(
+        a.iter().any(|(degraded, ..)| *degraded),
+        "chaos probabilities too low to exercise anything: {a:?}"
+    );
+    let c = run(4321);
+    assert_ne!(a, c, "different seeds should explore different schedules");
+}

@@ -42,7 +42,7 @@ fn cluster_matches_single_engine_results() {
     }
     single.flush().unwrap();
 
-    let cluster = Cluster::new(ClusterConfig { containers: 3, engine: engine_config() });
+    let cluster = Cluster::new(ClusterConfig { containers: 3, engine: engine_config(), ..ClusterConfig::default() });
     for (id, f) in refs.iter().enumerate() {
         cluster.add_texture(id as u64, f).unwrap();
     }
@@ -65,7 +65,7 @@ fn cluster_matches_single_engine_results() {
 fn features_survive_store_serialization() {
     // What goes through the Redis substrate + wire codec must reproduce
     // identical search behaviour.
-    let cluster = Cluster::new(ClusterConfig { containers: 2, engine: engine_config() });
+    let cluster = Cluster::new(ClusterConfig { containers: 2, engine: engine_config(), ..ClusterConfig::default() });
     for id in 0..4u64 {
         cluster.add_texture(id, &reference_features(id)).unwrap();
     }
@@ -79,7 +79,7 @@ fn features_survive_store_serialization() {
 
 #[test]
 fn rest_api_identifies_over_http() {
-    let cluster = Arc::new(Cluster::new(ClusterConfig { containers: 2, engine: engine_config() }));
+    let cluster = Arc::new(Cluster::new(ClusterConfig { containers: 2, engine: engine_config(), ..ClusterConfig::default() }));
     let server = api::serve(cluster, "127.0.0.1:0").unwrap();
     let addr = server.addr();
 
@@ -101,7 +101,7 @@ fn rest_api_identifies_over_http() {
 
 #[test]
 fn crud_lifecycle_consistency() {
-    let cluster = Cluster::new(ClusterConfig { containers: 2, engine: engine_config() });
+    let cluster = Cluster::new(ClusterConfig { containers: 2, engine: engine_config(), ..ClusterConfig::default() });
     for id in 0..6u64 {
         cluster.add_texture(id, &reference_features(id)).unwrap();
     }
@@ -136,7 +136,7 @@ fn scatter_gather_timing_model() {
     // the simulated wall time drops roughly linearly.
     let refs: Vec<FeatureMatrix> = (0..12).map(reference_features).collect();
     let wall = |containers: usize| {
-        let cluster = Cluster::new(ClusterConfig { containers, engine: engine_config() });
+        let cluster = Cluster::new(ClusterConfig { containers, engine: engine_config(), ..ClusterConfig::default() });
         for (id, f) in refs.iter().enumerate() {
             cluster.add_texture(id as u64, f).unwrap();
         }

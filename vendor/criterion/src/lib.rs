@@ -1,0 +1,206 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no crates.io access, so the workspace vendors a
+//! minimal harness with the same call shape: `criterion_group!` /
+//! `criterion_main!`, benchmark groups, `bench_with_input`, `Throughput`,
+//! and `Bencher::iter`. Instead of statistical analysis it runs a short
+//! calibrated loop and prints a single median-of-runs line per benchmark.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Work-per-iteration annotation (printed alongside timings).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one parameterized benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { name: format!("{name}/{parameter}") }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    iters: u64,
+    last_ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping its output alive via [`black_box`].
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        self.last_ns_per_iter = elapsed * 1e9 / self.iters as f64;
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with work-per-iteration.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in always takes a fixed
+    /// number of timing samples.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmark `routine` against `input`.
+    pub fn bench_with_input<I: ?Sized, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.name);
+        let tp = self.throughput;
+        self.criterion.run_one(&label, tp, |b| routine(b, input));
+        self
+    }
+
+    /// Benchmark a routine without an explicit input.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        routine: R,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        let tp = self.throughput;
+        self.criterion.run_one(&label, tp, routine);
+        self
+    }
+
+    /// Finish the group (printing is incremental; nothing further to do).
+    pub fn finish(self) {}
+}
+
+/// Benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string(), throughput: None }
+    }
+
+    /// Benchmark a standalone function.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, name: impl Display, routine: R) {
+        self.run_one(&name.to_string(), None, routine);
+    }
+
+    fn run_one<R: FnMut(&mut Bencher)>(
+        &mut self,
+        label: &str,
+        throughput: Option<Throughput>,
+        mut routine: R,
+    ) {
+        // Calibrate iteration count to ~50 ms, then take the median of 3.
+        let mut bencher = Bencher { iters: 1, last_ns_per_iter: 0.0 };
+        routine(&mut bencher);
+        let warm_ns = bencher.last_ns_per_iter.max(1.0);
+        let iters = ((50e6 / warm_ns) as u64).clamp(1, 1_000_000);
+        let mut samples = Vec::with_capacity(3);
+        for _ in 0..3 {
+            let mut b = Bencher { iters, last_ns_per_iter: 0.0 };
+            routine(&mut b);
+            samples.push(b.last_ns_per_iter);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[1];
+        match throughput {
+            Some(Throughput::Elements(n)) => {
+                let rate = n as f64 / (median * 1e-9);
+                println!("{label}: {median:.1} ns/iter ({rate:.3e} elem/s)");
+            }
+            Some(Throughput::Bytes(n)) => {
+                let rate = n as f64 / (median * 1e-9) / (1 << 30) as f64;
+                println!("{label}: {median:.1} ns/iter ({rate:.2} GiB/s)");
+            }
+            None => println!("{label}: {median:.1} ns/iter"),
+        }
+    }
+
+    /// Accept and ignore CLI arguments (API compatibility).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// No-op (API compatibility).
+    pub fn final_summary(&self) {}
+}
+
+/// Collect benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(64));
+        g.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(2 + 2)));
+    }
+}

@@ -1,0 +1,131 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build container has no crates.io access, so the workspace vendors a
+//! shim that maps the `rayon::prelude` entry points (`par_iter`,
+//! `par_iter_mut`, `into_par_iter`, `par_chunks`, `par_chunks_mut`) onto the
+//! equivalent *sequential* std iterators. Downstream adaptor chains
+//! (`map`/`zip`/`enumerate`/`for_each`/`collect`…) then run unchanged on
+//! `std::iter::Iterator`. Parallel speedup is traded away for a
+//! dependency-free build; results are bit-identical because every call site
+//! in this workspace is order-independent or writes disjoint chunks.
+
+pub mod prelude {
+    //! Drop-in replacements for the rayon prelude traits.
+
+    /// `into_par_iter()` for any owned iterable (ranges, `Vec`, …).
+    pub trait IntoParallelIterator {
+        /// Element type.
+        type Item;
+        /// Underlying sequential iterator.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Sequential stand-in for rayon's parallel consumption.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = I::IntoIter;
+        fn into_par_iter(self) -> I::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_iter()` for shared references.
+    pub trait IntoParallelRefIterator<'data> {
+        /// Element type (a shared reference).
+        type Item: 'data;
+        /// Underlying sequential iterator.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Sequential stand-in for rayon's `par_iter`.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+    where
+        &'data C: IntoIterator,
+    {
+        type Item = <&'data C as IntoIterator>::Item;
+        type Iter = <&'data C as IntoIterator>::IntoIter;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_iter_mut()` for exclusive references.
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// Element type (an exclusive reference).
+        type Item: 'data;
+        /// Underlying sequential iterator.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Sequential stand-in for rayon's `par_iter_mut`.
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
+    where
+        &'data mut C: IntoIterator,
+    {
+        type Item = <&'data mut C as IntoIterator>::Item;
+        type Iter = <&'data mut C as IntoIterator>::IntoIter;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_chunks()` on slices.
+    pub trait ParallelSlice<T> {
+        /// Sequential stand-in for rayon's `par_chunks`.
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// `par_chunks_mut()` on slices.
+    pub trait ParallelSliceMut<T> {
+        /// Sequential stand-in for rayon's `par_chunks_mut`.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn par_iter_matches_seq() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let sum: i32 = (0..5).into_par_iter().sum();
+        assert_eq!(sum, 10);
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_disjoint_blocks() {
+        let mut out = vec![0u32; 6];
+        out.par_chunks_mut(2).enumerate().for_each(|(b, chunk)| {
+            for c in chunk.iter_mut() {
+                *c = b as u32;
+            }
+        });
+        assert_eq!(out, vec![0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn par_iter_mut_and_zip() {
+        let mut idx = vec![0usize; 4];
+        let src = [10usize, 11, 12, 13];
+        src.par_iter().zip(idx.par_iter_mut()).for_each(|(s, d)| *d = *s);
+        assert_eq!(idx, vec![10, 11, 12, 13]);
+    }
+}
