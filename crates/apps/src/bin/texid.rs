@@ -202,7 +202,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let server =
         api::serve(cluster, &format!("127.0.0.1:{port}")).map_err(|e| e.to_string())?;
     println!(
-        "texture search API on http://{} ({} containers)\nroutes: POST /textures, GET/PUT/DELETE /textures/{{id}}, POST /search, POST /verify, GET /stats, GET /health, POST /heal\nCtrl-C to stop",
+        "texture search API on http://{} ({} containers)\nroutes: POST /textures, GET/PUT/DELETE /textures/{{id}}, POST /search, POST /verify, GET /stats, GET /health, POST /heal, GET /metrics\nCtrl-C to stop",
         server.addr(),
         containers
     );

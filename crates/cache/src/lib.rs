@@ -16,6 +16,44 @@
 
 use std::collections::VecDeque;
 use texid_gpu::{BufferId, GpuSim};
+use texid_obs::Counter;
+
+/// Cached telemetry handles (one global family per event; all caches in a
+/// process share the series, mirroring how every engine shares one card).
+struct Telemetry {
+    inserts: Counter,
+    evictions: Counter,
+    device_hits: Counter,
+    host_hits: Counter,
+}
+
+impl Telemetry {
+    fn register() -> Telemetry {
+        let reg = texid_obs::global();
+        Telemetry {
+            inserts: reg.counter(
+                "texid_cache_inserts",
+                "Reference batches inserted into the hybrid cache.",
+                &[],
+            ),
+            evictions: reg.counter(
+                "texid_cache_evictions",
+                "Device-to-host FIFO swap-outs (L1 evictions).",
+                &[],
+            ),
+            device_hits: reg.counter(
+                "texid_cache_hits",
+                "Search-time batch residency by tier; host hits pay a PCIe transfer.",
+                &[("tier", "device")],
+            ),
+            host_hits: reg.counter(
+                "texid_cache_hits",
+                "Search-time batch residency by tier; host hits pay a PCIe transfer.",
+                &[("tier", "host")],
+            ),
+        }
+    }
+}
 
 /// Anything storable in the cache.
 pub trait Payload {
@@ -147,12 +185,20 @@ pub struct HybridCache<T: Payload> {
     host: VecDeque<HostEntry<T>>,
     host_used: u64,
     stats: CacheStats,
+    telemetry: Telemetry,
 }
 
 impl<T: Payload> HybridCache<T> {
     /// Create an empty cache.
     pub fn new(cfg: CacheConfig) -> HybridCache<T> {
-        HybridCache { cfg, device: VecDeque::new(), host: VecDeque::new(), host_used: 0, stats: CacheStats::default() }
+        HybridCache {
+            cfg,
+            device: VecDeque::new(),
+            host: VecDeque::new(),
+            host_used: 0,
+            stats: CacheStats::default(),
+            telemetry: Telemetry::register(),
+        }
     }
 
     /// Configuration in force.
@@ -182,6 +228,7 @@ impl<T: Payload> HybridCache<T> {
                     Ok(buffer) => {
                         self.device.push_back(DeviceEntry { id, payload, buffer });
                         self.stats.inserted += 1;
+                        self.telemetry.inserts.inc();
                         return Ok(());
                     }
                     Err(_) => { /* fall through to swap */ }
@@ -202,6 +249,7 @@ impl<T: Payload> HybridCache<T> {
             let rec = sim.d2h(stream, ob);
             self.stats.swap_copy_us += rec.duration_us();
             self.stats.swaps += 1;
+            self.telemetry.evictions.inc();
             self.host_used += ob;
             self.host.push_back(HostEntry { id: oldest.id, payload: oldest.payload });
         }
@@ -213,6 +261,8 @@ impl<T: Payload> HybridCache<T> {
     pub fn search_iter(&mut self) -> impl Iterator<Item = (u64, &T, Tier)> {
         self.stats.device_hits += self.device.len() as u64;
         self.stats.host_hits += self.host.len() as u64;
+        self.telemetry.device_hits.add(self.device.len() as u64);
+        self.telemetry.host_hits.add(self.host.len() as u64);
         let dev = self.device.iter().map(|e| (e.id, &e.payload, Tier::Device));
         let host = self.host.iter().map(|e| (e.id, &e.payload, Tier::Host));
         dev.chain(host)

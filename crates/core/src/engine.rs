@@ -20,7 +20,61 @@ use texid_cache::{CacheConfig, CacheError, CacheStats, HybridCache, Payload, Tie
 use texid_gpu::{cost, streams, DeviceSpec, GpuSim, Kernel, Precision};
 use texid_knn::pair::D2H_BYTES_PER_QUERY_FEATURE;
 use texid_knn::{match_batch, Algorithm, ExecMode, FeatureBlock, MatchConfig};
+use texid_obs::{Counter, Histogram, Span};
 use texid_sift::FeatureMatrix;
+
+/// Cached telemetry handles, registered once per engine against the global
+/// registry (registration takes a mutex; the handles are lock-free).
+/// Simulated stage durations carry `clock="sim"`; the FP16 encode span is
+/// measured host time (`clock="wall"`).
+struct Telemetry {
+    encode: Histogram,
+    h2d: Histogram,
+    gemm: Histogram,
+    top2: Histogram,
+    d2h: Histogram,
+    post: Histogram,
+    total: Histogram,
+    searches: Counter,
+    images: Counter,
+}
+
+impl Telemetry {
+    fn register() -> Telemetry {
+        let reg = texid_obs::global();
+        Telemetry {
+            encode: reg.stage_duration("encode", "wall"),
+            h2d: reg.stage_duration("h2d", "sim"),
+            gemm: reg.stage_duration("gemm", "sim"),
+            top2: reg.stage_duration("top2", "sim"),
+            d2h: reg.stage_duration("d2h", "sim"),
+            post: reg.stage_duration("post", "sim"),
+            total: reg.stage_duration("total", "sim"),
+            searches: reg.counter(
+                "texid_engine_searches",
+                "Single-node search passes completed.",
+                &[],
+            ),
+            images: reg.counter(
+                "texid_engine_images_compared",
+                "Reference images compared across all searches.",
+                &[],
+            ),
+        }
+    }
+
+    /// Record one search's per-stage accounting.
+    fn observe(&self, report: &SearchReport) {
+        self.h2d.observe(report.h2d_us);
+        self.gemm.observe(report.gemm_us);
+        self.top2.observe(report.sort_us);
+        self.d2h.observe(report.d2h_us);
+        self.post.observe(report.post_us);
+        self.total.observe(report.total_us);
+        self.searches.inc();
+        self.images.add(report.images as u64);
+    }
+}
 
 /// Engine configuration: the paper's co-optimization levers in one place.
 #[derive(Clone, Debug)]
@@ -184,6 +238,7 @@ pub struct Engine {
     phantom_ids: Vec<u64>,
     next_batch: u64,
     references: usize,
+    telemetry: Telemetry,
 }
 
 impl Engine {
@@ -202,6 +257,7 @@ impl Engine {
             phantom_ids: Vec::new(),
             next_batch: 0,
             references: 0,
+            telemetry: Telemetry::register(),
         }
     }
 
@@ -384,8 +440,10 @@ impl Engine {
             n,
             query.mat.as_slice()[..query.dim() * n].to_vec(),
         );
-        let qblock =
-            FeatureBlock::from_mat(qmat, self.cfg.matching.precision, self.cfg.matching.scale);
+        let qblock = {
+            let _span = Span::with(self.telemetry.encode.clone());
+            FeatureBlock::from_mat(qmat, self.cfg.matching.precision, self.cfg.matching.scale)
+        };
 
         let mut report = SearchReport::default();
         let mut ranked: Vec<(u64, usize)> = Vec::new();
@@ -461,6 +519,7 @@ impl Engine {
             report.h2d_us + report.gemm_us + report.sort_us + report.d2h_us + report.post_us;
         report.total_us =
             report.serial_total_us * streams::stream_time_factor(&spec, self.cfg.streams);
+        self.telemetry.observe(&report);
 
         ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         SearchResult { ranked, report }

@@ -12,6 +12,7 @@
 //! | `/stats` | GET | — | cluster statistics |
 //! | `/health` | GET | — | per-shard breaker state (503 when no shard serves) |
 //! | `/heal` | POST | — | rebuild unhealthy shards from the feature store |
+//! | `/metrics` | GET | — | Prometheus text exposition of all telemetry |
 //!
 //! Feature payloads travel as base64-encoded protobuf-style bytes
 //! ([`crate::wire`]), matching the paper's protobuf serialization.
@@ -204,9 +205,15 @@ pub fn handle(cluster: &Cluster, req: &Request) -> Response {
                     ("degraded_searches", Json::Num(s.degraded_searches as f64)),
                     ("retries", Json::Num(s.retries as f64)),
                     ("faults_injected", Json::Num(s.faults_injected as f64)),
+                    ("schedule_efficiency", Json::Num(s.schedule_efficiency)),
+                    ("achieved_tflops", Json::Num(s.achieved_tflops)),
+                    ("gpu_efficiency", Json::Num(s.gpu_efficiency)),
                 ])
                 .to_string(),
             )
+        }
+        ("GET", ["metrics"]) => {
+            Response::prometheus(200, texid_obs::global().render_prometheus())
         }
         ("GET", ["health"]) => {
             let shards = cluster.health();
@@ -261,7 +268,7 @@ pub fn handle(cluster: &Cluster, req: &Request) -> Response {
         (
             _,
             ["textures"] | ["textures", _] | ["search"] | ["verify"] | ["stats"] | ["health"]
-            | ["heal"],
+            | ["heal"] | ["metrics"],
         ) => err_json(405, "method not allowed"),
         _ => err_json(404, "no such route"),
     }

@@ -38,7 +38,110 @@ use texid_core::{Engine, EngineConfig, SearchReport};
 use texid_gpu::{DeviceSpec, GpuSim};
 use texid_knn::geometry::{verify_matches, RansacParams};
 use texid_knn::{match_pair, ExecMode, FeatureBlock, MatchConfig};
+use texid_obs::{Counter, Gauge, Histogram, Registry};
 use texid_sift::FeatureMatrix;
+
+/// Numeric encoding of [`ShardHealth`] for the breaker-state gauge.
+fn breaker_gauge_value(health: ShardHealth) -> f64 {
+    match health {
+        ShardHealth::Healthy => 0.0,
+        ShardHealth::Suspect => 1.0,
+        ShardHealth::Down => 2.0,
+    }
+}
+
+/// Cached telemetry handles, registered once per cluster. Per-shard
+/// vectors are indexed by shard number; every hot-path update is a
+/// relaxed atomic on a pre-registered handle.
+struct Telemetry {
+    searches: Counter,
+    degraded: Counter,
+    retries: Counter,
+    shard_failures: Vec<Counter>,
+    shard_skips: Vec<Counter>,
+    breaker_state: Vec<Gauge>,
+    shard_latency: Vec<Histogram>,
+    schedule_efficiency: Gauge,
+    achieved_tflops: Gauge,
+    gpu_efficiency: Gauge,
+    faults_injected: Gauge,
+}
+
+impl Telemetry {
+    fn register(reg: &Registry, containers: usize) -> Telemetry {
+        let mut shard_failures = Vec::with_capacity(containers);
+        let mut shard_skips = Vec::with_capacity(containers);
+        let mut breaker_state = Vec::with_capacity(containers);
+        let mut shard_latency = Vec::with_capacity(containers);
+        for i in 0..containers {
+            let shard = i.to_string();
+            let labels = [("shard", shard.as_str())];
+            shard_failures.push(reg.counter(
+                "texid_shard_failures",
+                "Search legs that failed on this shard (crash, error, retries exhausted).",
+                &labels,
+            ));
+            shard_skips.push(reg.counter(
+                "texid_shard_skips",
+                "Search legs skipped on this shard because its breaker was open.",
+                &labels,
+            ));
+            let g = reg.gauge(
+                "texid_shard_breaker_state",
+                "Circuit-breaker state: 0 = healthy, 1 = suspect, 2 = down.",
+                &labels,
+            );
+            g.set(0.0);
+            breaker_state.push(g);
+            shard_latency.push(reg.histogram(
+                "texid_shard_search_duration_us",
+                "Per-shard scatter-gather leg latency (simulated wall microseconds).",
+                &labels,
+            ));
+        }
+        Telemetry {
+            searches: reg.counter(
+                "texid_cluster_searches",
+                "Scatter-gather searches served by the cluster.",
+                &[],
+            ),
+            degraded: reg.counter(
+                "texid_cluster_degraded_searches",
+                "Searches that returned partial results (a shard failed or was skipped).",
+                &[],
+            ),
+            retries: reg.counter(
+                "texid_cluster_retries",
+                "Transient-fault retries performed (feature store and search legs).",
+                &[],
+            ),
+            shard_failures,
+            shard_skips,
+            breaker_state,
+            shard_latency,
+            schedule_efficiency: reg.gauge(
+                "texid_schedule_efficiency",
+                "Eq. 4: per-GPU achieved speed over the PCIe-bound theoretical speed, last search.",
+                &[],
+            ),
+            achieved_tflops: reg.gauge(
+                "texid_achieved_tflops",
+                "Eq. 3 numerator: cluster-aggregate achieved TFLOPS, last search.",
+                &[],
+            ),
+            gpu_efficiency: reg.gauge(
+                "texid_gpu_efficiency",
+                "Eq. 3: per-GPU achieved over theoretical peak TFLOPS, last search.",
+                &[],
+            ),
+            faults_injected: reg.gauge(
+                "texid_faults_injected",
+                "Faults injected so far by the active fault plan (0 without one).",
+                &[],
+            ),
+        }
+    }
+}
 
 /// Degraded-mode and retry tuning.
 #[derive(Clone, Copy, Debug)]
@@ -289,6 +392,13 @@ pub struct ClusterStats {
     pub retries: u64,
     /// Faults injected by the active plan (0 without one).
     pub faults_injected: u64,
+    /// Eq. 4 schedule efficiency from the most recent search (0 before
+    /// any search completes).
+    pub schedule_efficiency: f64,
+    /// Eq. 3 numerator: cluster-aggregate achieved TFLOPS, last search.
+    pub achieved_tflops: f64,
+    /// Eq. 3 per-GPU efficiency, last search.
+    pub gpu_efficiency: f64,
 }
 
 /// Per-shard dispatch decision for one search, fixed *before* the scatter
@@ -329,6 +439,7 @@ pub struct Cluster {
     total_searches: AtomicU64,
     degraded_searches: AtomicU64,
     retries: AtomicU64,
+    telemetry: Telemetry,
 }
 
 impl Cluster {
@@ -337,13 +448,27 @@ impl Cluster {
         Cluster::with_faults(cfg, None)
     }
 
-    /// Bring up the cluster with an optional seeded fault plan.
+    /// Bring up the cluster with an optional seeded fault plan, reporting
+    /// telemetry into the process-wide [`texid_obs::global`] registry.
     pub fn with_faults(cfg: ClusterConfig, fault_plan: Option<FaultPlan>) -> Cluster {
+        Cluster::with_faults_in_registry(cfg, fault_plan, texid_obs::global())
+    }
+
+    /// Like [`Cluster::with_faults`], but reporting into a caller-supplied
+    /// registry. Tests that assert exact event counts use a private
+    /// registry so parallel test binaries sharing the global one cannot
+    /// perturb the numbers.
+    pub fn with_faults_in_registry(
+        cfg: ClusterConfig,
+        fault_plan: Option<FaultPlan>,
+        registry: &Registry,
+    ) -> Cluster {
         assert!(cfg.containers >= 1, "need at least one container");
         let shards = (0..cfg.containers)
             .map(|_| Mutex::new(Engine::new(cfg.engine.clone())))
             .collect();
         let shard_health = (0..cfg.containers).map(|_| ShardState::default()).collect();
+        let telemetry = Telemetry::register(registry, cfg.containers);
         Cluster {
             cfg,
             shards,
@@ -358,7 +483,17 @@ impl Cluster {
             total_searches: AtomicU64::new(0),
             degraded_searches: AtomicU64::new(0),
             retries: AtomicU64::new(0),
+            telemetry,
         }
+    }
+
+    /// The single accounting point for a transient-fault retry: `/stats`
+    /// and the Prometheus counter move in lockstep, exactly once per
+    /// attempt, no matter which code path (store read/write, search
+    /// planning) performed the retry.
+    fn note_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.retries.inc();
     }
 
     /// Configuration in force.
@@ -394,7 +529,7 @@ impl Cluster {
                         return Err(ClusterError::Timeout(format!("kv read {key}")));
                     }
                     attempt += 1;
-                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    self.note_retry();
                 }
                 Some(FaultKind::KvLoss) => return Ok(None),
                 Some(FaultKind::KvCorrupt) => {
@@ -417,7 +552,7 @@ impl Cluster {
                     return Err(ClusterError::Unavailable(format!("feature store ({key})")));
                 }
                 attempt += 1;
-                self.retries.fetch_add(1, Ordering::Relaxed);
+                self.note_retry();
             }
         }
         self.store.set(key, value);
@@ -559,6 +694,7 @@ impl Cluster {
     /// coverage was partial.
     pub fn search(&self, query: &FeatureMatrix, top_k: usize) -> ClusterSearchResult {
         self.total_searches.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.searches.inc();
         let live_key = self.live_key.lock().clone();
         let external_of = self.external_of.lock().clone();
         let backoff: Backoff = self.cfg.resilience.backoff;
@@ -588,7 +724,7 @@ impl Cluster {
                                     plan = LegPlan::FailFast;
                                     break;
                                 }
-                                self.retries.fetch_add(1, Ordering::Relaxed);
+                                self.note_retry();
                             }
                             Some(FaultKind::ShardCrash) => {
                                 plan = LegPlan::Run { crash: true, straggle: None, backoff_us: 0.0 };
@@ -661,15 +797,26 @@ impl Cluster {
             }
         });
 
-        // Phase 3: drive the breakers from the outcomes.
+        // Phase 3: drive the breakers from the outcomes. This is the
+        // *single* per-leg accounting point — breaker transitions, shard
+        // failure/skip counters, latency observations, and breaker gauges
+        // all update here, exactly once per leg per search, so the
+        // Prometheus counters cannot drift from the breaker bookkeeping.
         {
             let mut states = self.shard_health.lock();
-            for (st, g) in states.iter_mut().zip(&gathered) {
+            for (i, (st, g)) in states.iter_mut().zip(&gathered).enumerate() {
                 match g {
-                    Gathered::Answered(..) => st.record_success(),
-                    Gathered::Failed => st.record_failure(self.cfg.resilience.trip_threshold),
-                    Gathered::Skipped => {}
+                    Gathered::Answered(_, report) => {
+                        st.record_success();
+                        self.telemetry.shard_latency[i].observe(report.total_us);
+                    }
+                    Gathered::Failed => {
+                        st.record_failure(self.cfg.resilience.trip_threshold);
+                        self.telemetry.shard_failures[i].inc();
+                    }
+                    Gathered::Skipped => self.telemetry.shard_skips[i].inc(),
                 }
+                self.telemetry.breaker_state[i].set(breaker_gauge_value(st.health()));
             }
         }
 
@@ -678,7 +825,10 @@ impl Cluster {
         let shards_skipped = gathered.iter().filter(|g| matches!(g, Gathered::Skipped)).count();
         let degraded = shards_failed > 0 || shards_skipped > 0;
         if degraded {
+            // Single accounting point: once per degraded search, never per
+            // failed leg.
             self.degraded_searches.fetch_add(1, Ordering::Relaxed);
+            self.telemetry.degraded.inc();
         }
 
         // Translate internal keys to external ids, dropping retired keys.
@@ -705,7 +855,41 @@ impl Cluster {
             })
             .collect();
         let wall_us = shard_reports.iter().map(|r| r.total_us).fold(0.0f64, f64::max);
-        let comparisons = shard_reports.iter().map(|r| r.images).sum();
+        let comparisons: usize = shard_reports.iter().map(|r| r.images).sum();
+
+        // Live paper gauges from this search's outcome: Eq. 3 (achieved
+        // over theoretical TFLOPS, per GPU) and Eq. 4 (achieved over the
+        // PCIe-bound speed, per GPU). The per-GPU speed divides by the
+        // shards that actually answered, so a degraded scatter does not
+        // read as an efficiency collapse.
+        if shards_ok > 0 && wall_us > 0.0 && comparisons > 0 {
+            let e = &self.cfg.engine;
+            let speed = comparisons as f64 / wall_us * 1e6;
+            let per_gpu = speed / shards_ok as f64;
+            let (m, n, d) = (e.m_ref, e.n_query, 128);
+            self.telemetry
+                .achieved_tflops
+                .set(texid_core::metrics::achieved_tflops(speed, m, n, d));
+            self.telemetry.gpu_efficiency.set(texid_core::metrics::gpu_efficiency(
+                &e.device,
+                per_gpu,
+                m,
+                n,
+                d,
+                e.matching.precision,
+                e.matching.tensor_core,
+            ));
+            let bytes_per_image = (m * d * e.matching.precision.bytes()) as u64;
+            let pcie =
+                texid_gpu::streams::pcie_bound_speed(&e.device, bytes_per_image, e.cache.pinned);
+            self.telemetry
+                .schedule_efficiency
+                .set(texid_gpu::streams::schedule_efficiency(per_gpu, pcie));
+        }
+        if let Some(plan) = &self.fault_plan {
+            self.telemetry.faults_injected.set(plan.injected() as f64);
+        }
+
         ClusterSearchResult {
             results,
             shard_reports,
@@ -768,6 +952,7 @@ impl Cluster {
         engine.flush()?;
         *self.shards[shard].lock() = engine;
         self.shard_health.lock()[shard].record_success();
+        self.telemetry.breaker_state[shard].set(breaker_gauge_value(ShardHealth::Healthy));
         Ok(report)
     }
 
@@ -847,6 +1032,9 @@ impl Cluster {
             degraded_searches: self.degraded_searches.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
             faults_injected: self.fault_plan.as_ref().map_or(0, |p| p.injected()),
+            schedule_efficiency: self.telemetry.schedule_efficiency.get(),
+            achieved_tflops: self.telemetry.achieved_tflops.get(),
+            gpu_efficiency: self.telemetry.gpu_efficiency.get(),
         }
     }
 }

@@ -65,6 +65,16 @@ impl Response {
         Response { status, content_type: "application/json".to_string(), body: body.into_bytes() }
     }
 
+    /// A plain-text response in Prometheus exposition content type
+    /// (`GET /metrics`).
+    pub fn prometheus(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; version=0.0.4".to_string(),
+            body: body.into_bytes(),
+        }
+    }
+
     /// Body as UTF-8 (lossy).
     pub fn text(&self) -> String {
         String::from_utf8_lossy(&self.body).into_owned()

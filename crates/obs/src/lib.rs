@@ -1,0 +1,70 @@
+//! # texid-obs
+//!
+//! Runtime telemetry for the texture-identification system. The paper's
+//! headline claims are all *measurements* — schedule efficiency (Eq. 4),
+//! GPU efficiency (Eq. 3), the 872,984 img/s distributed figure — and
+//! Johnson et al.'s billion-scale experience shows the bottleneck moves
+//! between copy, compute, and gather per workload. This crate is the
+//! instrumentation layer that makes those numbers readable off a *running*
+//! cluster instead of a post-hoc bench report.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Hot-path cost ≈ one relaxed atomic op.** [`Counter::inc`],
+//!    [`Gauge::set`], and [`Histogram::observe`] touch only
+//!    `AtomicU64`s with `Ordering::Relaxed` — no locks, no allocation, no
+//!    syscalls. A [`Span`] adds a single monotonic clock read per edge.
+//! 2. **Registration is the slow path.** [`Registry::counter`] /
+//!    [`Registry::gauge`] / [`Registry::histogram`] take a mutex and may
+//!    allocate; callers register once (at construction) and keep the
+//!    cheaply-cloneable handles.
+//! 3. **Prometheus-compatible exposition.** [`Registry::render_prometheus`]
+//!    emits the text format (version 0.0.4): `# HELP` / `# TYPE` comments,
+//!    `_total`-suffixed counters, cumulative `_bucket{le=...}` histogram
+//!    series with `_sum` / `_count`, and escaped label values.
+//!
+//! The process-wide registry is [`global`]; every instrumented crate
+//! (`texid-core`, `texid-gpu`, `texid-cache`, `texid-distrib`,
+//! `texid-sift`) registers against it, and `texid-distrib`'s REST API
+//! serves it as `GET /metrics`. The full metric catalog lives in
+//! `OBSERVABILITY.md` at the repository root.
+//!
+//! ```
+//! use texid_obs::Registry;
+//!
+//! let registry = Registry::new();
+//! let hits = registry.counter("demo_cache_hits", "Cache hits.", &[("tier", "device")]);
+//! hits.add(3);
+//! let text = registry.render_prometheus();
+//! assert!(text.contains(r#"demo_cache_hits_total{tier="device"} 3"#));
+//! ```
+
+#![deny(missing_docs)]
+
+mod histogram;
+mod metrics;
+mod prometheus;
+mod registry;
+mod span;
+
+pub use histogram::{Histogram, DEFAULT_LATENCY_BUCKETS_US};
+pub use metrics::{Counter, Gauge};
+pub use registry::{MetricKind, Registry};
+pub use span::Span;
+
+use std::sync::OnceLock;
+
+/// Name of the unified per-stage latency histogram family. Labels:
+/// `stage` (e.g. `extract`, `encode`, `gemm`, `top2`, `h2d`, `d2h`,
+/// `post`, `total`) and `clock` (`wall` for measured host time, `sim` for
+/// simulated device time). Units: microseconds.
+pub const STAGE_DURATION: &str = "texid_stage_duration_us";
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide registry every instrumented crate reports into and
+/// `GET /metrics` renders. Handles are cheap clones of `Arc`s, so cache
+/// them at construction time rather than re-looking them up per event.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}

@@ -1,0 +1,134 @@
+//! Prometheus text-format exposition conformance tests: suffix rules,
+//! label escaping, histogram series shape, and deterministic ordering.
+
+use texid_obs::Registry;
+
+#[test]
+fn counters_get_total_suffix_and_gauges_do_not() {
+    let r = Registry::new();
+    r.counter("requests", "Requests served.", &[]).add(7);
+    r.gauge("efficiency", "Live schedule efficiency.", &[]).set(0.87);
+
+    let text = r.render_prometheus();
+    assert!(text.contains("# TYPE requests_total counter"), "{text}");
+    assert!(text.contains("requests_total 7\n"), "{text}");
+    assert!(text.contains("# TYPE efficiency gauge"), "{text}");
+    assert!(text.contains("efficiency 0.87\n"), "{text}");
+    assert!(
+        !text.contains("efficiency_total"),
+        "gauges must not get the counter suffix: {text}"
+    );
+}
+
+#[test]
+fn label_values_are_escaped() {
+    let r = Registry::new();
+    r.counter(
+        "odd_labels",
+        "Labels with hostile characters.",
+        &[("path", "C:\\tmp"), ("quote", "say \"hi\""), ("nl", "a\nb")],
+    )
+    .inc();
+
+    let text = r.render_prometheus();
+    assert!(text.contains(r#"path="C:\\tmp""#), "{text}");
+    assert!(text.contains(r#"quote="say \"hi\"""#), "{text}");
+    assert!(text.contains(r#"nl="a\nb""#), "{text}");
+    assert!(!text.contains("a\nb\""), "raw newline leaked into exposition: {text}");
+}
+
+#[test]
+fn help_text_is_escaped() {
+    let r = Registry::new();
+    r.counter("multi", "line one\nline two", &[]).inc();
+    let text = r.render_prometheus();
+    assert!(text.contains("# HELP multi_total line one\\nline two"), "{text}");
+}
+
+#[test]
+fn histogram_series_are_cumulative_and_complete() {
+    let r = Registry::new();
+    let h = r.histogram_with_bounds(
+        "latency_us",
+        "Test latency.",
+        &[("stage", "gemm")],
+        &[10.0, 100.0, 1000.0],
+    );
+    h.observe(5.0);
+    h.observe(50.0);
+    h.observe(51.0);
+    h.observe(5000.0); // overflow
+
+    let text = r.render_prometheus();
+    assert!(text.contains("# TYPE latency_us histogram"), "{text}");
+    assert!(text.contains(r#"latency_us_bucket{stage="gemm",le="10"} 1"#), "{text}");
+    assert!(text.contains(r#"latency_us_bucket{stage="gemm",le="100"} 3"#), "{text}");
+    assert!(text.contains(r#"latency_us_bucket{stage="gemm",le="1000"} 3"#), "{text}");
+    assert!(
+        text.contains(r#"latency_us_bucket{stage="gemm",le="+Inf"} 4"#),
+        "+Inf bucket must equal total count: {text}"
+    );
+    assert!(text.contains(r#"latency_us_count{stage="gemm"} 4"#), "{text}");
+    assert!(text.contains(r#"latency_us_sum{stage="gemm"} 5106"#), "{text}");
+}
+
+#[test]
+fn every_series_line_parses() {
+    // A scrape-shaped sanity pass: each non-comment line must be
+    // `name{labels} value` or `name value`, and every family must carry
+    // both HELP and TYPE headers.
+    let r = Registry::new();
+    r.counter("a_events", "A.", &[("k", "v")]).inc();
+    r.gauge("b_level", "B.", &[]).set(1.5);
+    r.histogram_with_bounds("c_lat", "C.", &[], &[1.0, 2.0]).observe(1.5);
+
+    let text = r.render_prometheus();
+    let mut helps = 0;
+    let mut types = 0;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# ") {
+            if rest.starts_with("HELP ") {
+                helps += 1;
+            } else if rest.starts_with("TYPE ") {
+                types += 1;
+            } else {
+                panic!("unknown comment line: {line}");
+            }
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').expect("sample line has a value");
+        assert!(!series.is_empty(), "empty series name in {line:?}");
+        if value != "+Inf" {
+            value.parse::<f64>().unwrap_or_else(|_| panic!("bad value in {line:?}"));
+        }
+        if let Some(open) = series.find('{') {
+            assert!(series.ends_with('}'), "unbalanced labels in {line:?}");
+            let name = &series[..open];
+            assert!(
+                name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad metric name in {line:?}"
+            );
+        }
+    }
+    assert_eq!(helps, 3, "one HELP per family: {text}");
+    assert_eq!(types, 3, "one TYPE per family: {text}");
+}
+
+#[test]
+fn output_order_is_deterministic() {
+    let build = || {
+        let r = Registry::new();
+        r.counter("zebra", "Z.", &[]).inc();
+        r.gauge("alpha", "A.", &[]).set(1.0);
+        r.counter("mid", "M.", &[("b", "2")]).inc();
+        r.counter("mid", "M.", &[("b", "1")]).inc();
+        r.render_prometheus()
+    };
+    let a = build();
+    let b = build();
+    assert_eq!(a, b);
+    let alpha = a.find("# HELP alpha").unwrap();
+    let mid = a.find("# HELP mid_total").unwrap();
+    let zebra = a.find("# HELP zebra_total").unwrap();
+    assert!(alpha < mid && mid < zebra, "families sorted by name: {a}");
+}

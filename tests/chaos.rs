@@ -195,6 +195,69 @@ fn acceptance_crash_heal_roundtrip() {
     }
 }
 
+/// Fault accounting is exactly-once: every retry attempt bumps `/stats`
+/// and the Prometheus counter in lockstep, a degraded search is counted
+/// once no matter how many legs failed, and per-shard failures count one
+/// per failed leg. Private registries keep the numbers exact even when
+/// other tests in this process hit the global registry concurrently.
+#[test]
+fn fault_events_are_recorded_exactly_once() {
+    use texid_obs::Registry;
+    let counter = |reg: &Registry, name: &str, labels: &[(&str, &str)]| -> u64 {
+        // Registration is idempotent, so re-registering returns the same
+        // underlying handle the cluster increments.
+        reg.counter(name, "", labels).get()
+    };
+
+    // Two transient faults inside the retry budget: exactly two retries,
+    // zero degraded searches, zero leg failures.
+    let reg = Registry::new();
+    let plan = FaultPlan::new(3).transient_search(0, 2);
+    let cluster = Cluster::with_faults_in_registry(chaos_config(2), Some(plan), &reg);
+    populate(&cluster, 4);
+    let out = cluster.search(&query_features(0), 2);
+    assert!(!out.degraded);
+    let stats = cluster.stats();
+    assert_eq!(stats.retries, 2);
+    assert_eq!(counter(&reg, "texid_cluster_retries", &[]), 2);
+    assert_eq!(counter(&reg, "texid_cluster_degraded_searches", &[]), 0);
+    assert_eq!(counter(&reg, "texid_shard_failures", &[("shard", "0")]), 0);
+
+    // More transients than the budget: retries stop at max_retries, the
+    // leg fails once, and the search degrades once.
+    let reg = Registry::new();
+    let budget = chaos_config(2).resilience.backoff.max_retries as u64;
+    let plan = FaultPlan::new(3).transient_search(0, 10);
+    let cluster = Cluster::with_faults_in_registry(chaos_config(2), Some(plan), &reg);
+    populate(&cluster, 4);
+    let out = cluster.search(&query_features(0), 2);
+    assert!(out.degraded);
+    assert_eq!(out.shards_failed, 1);
+    let stats = cluster.stats();
+    assert_eq!(stats.retries, budget);
+    assert_eq!(counter(&reg, "texid_cluster_retries", &[]), budget);
+    assert_eq!(counter(&reg, "texid_cluster_degraded_searches", &[]), 1);
+    assert_eq!(stats.degraded_searches, 1);
+    assert_eq!(counter(&reg, "texid_shard_failures", &[("shard", "0")]), 1);
+    assert_eq!(counter(&reg, "texid_shard_failures", &[("shard", "1")]), 0);
+
+    // Two shards crash in one search: two leg failures, but still exactly
+    // one degraded-search event.
+    let reg = Registry::new();
+    let plan = FaultPlan::new(9).crash_shard(0).crash_shard(1);
+    let cluster = Cluster::with_faults_in_registry(chaos_config(3), Some(plan), &reg);
+    populate(&cluster, 6);
+    let out = cluster.search(&query_features(2), 3);
+    assert!(out.degraded);
+    assert_eq!(out.shards_failed, 2);
+    assert_eq!(counter(&reg, "texid_cluster_degraded_searches", &[]), 1);
+    assert_eq!(cluster.stats().degraded_searches, 1);
+    assert_eq!(counter(&reg, "texid_shard_failures", &[("shard", "0")]), 1);
+    assert_eq!(counter(&reg, "texid_shard_failures", &[("shard", "1")]), 1);
+    assert_eq!(counter(&reg, "texid_shard_failures", &[("shard", "2")]), 0);
+    assert_eq!(counter(&reg, "texid_cluster_retries", &[]), 0);
+}
+
 /// Same seed => same failure sequence, observable end to end.
 #[test]
 fn fault_injection_is_deterministic() {

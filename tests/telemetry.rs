@@ -1,0 +1,272 @@
+//! Telemetry acceptance suite: scrape `GET /metrics` end to end and parse
+//! the Prometheus text it returns.
+//!
+//! The first test is the PR's acceptance criterion: bring up a cluster,
+//! drive a real search through the REST API, scrape `/metrics`, and assert
+//! the exposition is syntactically valid *and* carries every family the
+//! observability contract promises — stage latency histograms, cache
+//! hit/miss counters, per-shard breaker gauges, retry/degraded counters,
+//! and the live Eq. 3 / Eq. 4 efficiency gauges.
+//!
+//! Counters here are asserted as *presence* or `>= n`, never exact counts:
+//! every cluster in this process reports into the shared
+//! [`texid_obs::global`] registry, so parallel tests may also bump them.
+//! Exact-count accounting is covered by `tests/chaos.rs` using private
+//! registries.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use texid_core::EngineConfig;
+use texid_distrib::api;
+use texid_distrib::b64;
+use texid_distrib::cluster::{Cluster, ClusterConfig};
+use texid_distrib::http::http_call;
+use texid_distrib::json::parse;
+use texid_distrib::wire;
+use texid_image::{CaptureCondition, TextureGenerator};
+use texid_obs::Registry;
+use texid_sift::{extract, FeatureMatrix, SiftConfig};
+
+fn small_config(containers: usize) -> ClusterConfig {
+    ClusterConfig {
+        containers,
+        engine: EngineConfig {
+            m_ref: 128,
+            n_query: 256,
+            batch_size: 2,
+            streams: 1,
+            ..EngineConfig::default()
+        },
+        ..ClusterConfig::default()
+    }
+}
+
+fn reference_features(id: u64) -> FeatureMatrix {
+    let im = TextureGenerator::with_size(128).generate(id);
+    extract(&im, &SiftConfig { max_features: 128, ..SiftConfig::default() })
+}
+
+fn query_features(id: u64) -> FeatureMatrix {
+    let im = TextureGenerator::with_size(128).generate(id);
+    let mut rng = SmallRng::seed_from_u64(id ^ 0x0b5);
+    let q = CaptureCondition::mild(&mut rng).apply(&im, id);
+    extract(&q, &SiftConfig { max_features: 256, ..SiftConfig::default() })
+}
+
+/// One parsed sample: full series name with its label block, and value.
+struct Sample {
+    series: String,
+    value: f64,
+}
+
+/// Parse a Prometheus 0.0.4 text body, asserting every line is either a
+/// `# HELP` / `# TYPE` comment or a `name{labels} value` sample.
+fn parse_exposition(body: &str) -> Vec<Sample> {
+    let mut samples = Vec::new();
+    for line in body.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            assert!(
+                rest.starts_with("HELP ") || rest.starts_with("TYPE "),
+                "unknown comment line: {line}"
+            );
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+            panic!("sample line without a value: {line}");
+        });
+        let value = match value {
+            "+Inf" => f64::INFINITY,
+            v => v.parse::<f64>().unwrap_or_else(|_| panic!("bad value in: {line}")),
+        };
+        let name_end = series.find('{').unwrap_or(series.len());
+        let name = &series[..name_end];
+        assert!(
+            !name.is_empty()
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad metric name in: {line}"
+        );
+        if name_end < series.len() {
+            assert!(series.ends_with('}'), "unterminated label block: {line}");
+        }
+        samples.push(Sample { series: series.to_string(), value });
+    }
+    samples
+}
+
+fn series_with<'a>(samples: &'a [Sample], parts: &[&str]) -> Vec<&'a Sample> {
+    samples
+        .iter()
+        .filter(|s| parts.iter().all(|p| s.series.contains(p)))
+        .collect()
+}
+
+fn assert_present(samples: &[Sample], parts: &[&str]) {
+    assert!(
+        !series_with(samples, parts).is_empty(),
+        "no series matching {parts:?} in scrape"
+    );
+}
+
+/// The acceptance criterion: `/metrics` returns valid Prometheus text
+/// carrying stage histograms, cache counters, breaker gauges,
+/// retry/degraded counters, and the Eq. 3 / Eq. 4 gauges.
+#[test]
+fn metrics_endpoint_serves_complete_prometheus_text() {
+    let cluster = Arc::new(Cluster::new(small_config(2)));
+    let server = api::serve(cluster, "127.0.0.1:0").unwrap();
+    let addr = server.addr();
+
+    for id in 0..4u64 {
+        let payload = b64::encode(&wire::encode_features(&reference_features(id)));
+        let body = format!(r#"{{"id": {id}, "features": "{payload}"}}"#);
+        assert_eq!(http_call(addr, "POST", "/textures", body.as_bytes()).unwrap().status, 201);
+    }
+    let payload = b64::encode(&wire::encode_features(&query_features(2)));
+    let body = format!(r#"{{"features": "{payload}", "top": 2}}"#);
+    let search = http_call(addr, "POST", "/search", body.as_bytes()).unwrap();
+    assert_eq!(search.status, 200);
+
+    let resp = http_call(addr, "GET", "/metrics", b"").unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(
+        resp.content_type.starts_with("text/plain"),
+        "content type: {}",
+        resp.content_type
+    );
+    assert!(resp.content_type.contains("version=0.0.4"), "{}", resp.content_type);
+
+    let body = resp.text();
+    let samples = parse_exposition(&body);
+    assert!(!samples.is_empty(), "empty scrape");
+
+    // Stage latency histograms: measured wall-clock stages and the
+    // simulated GPU stages each expose cumulative buckets, sum, count.
+    for stage in ["extract", "encode"] {
+        let key = format!("stage=\"{stage}\"");
+        assert_present(&samples, &["texid_stage_duration_us_bucket{", "clock=\"wall\"", &key]);
+        let count = series_with(&samples, &["texid_stage_duration_us_count{", &key]);
+        assert!(count[0].value >= 1.0, "{stage} never observed");
+    }
+    for stage in ["h2d", "gemm", "top2", "d2h", "post", "total"] {
+        let key = format!("stage=\"{stage}\"");
+        assert_present(&samples, &["texid_stage_duration_us_bucket{", "clock=\"sim\"", &key]);
+        let count = series_with(&samples, &["texid_stage_duration_us_count{", &key]);
+        assert!(count[0].value >= 1.0, "{stage} never observed");
+    }
+    // Histogram buckets are cumulative: +Inf bucket equals _count.
+    let inf = series_with(
+        &samples,
+        &["texid_stage_duration_us_bucket{", "stage=\"gemm\"", "le=\"+Inf\""],
+    );
+    let count = series_with(&samples, &["texid_stage_duration_us_count{", "stage=\"gemm\""]);
+    assert_eq!(inf[0].value, count[0].value);
+
+    // Cache tier counters.
+    assert_present(&samples, &["texid_cache_hits_total{", "tier=\"device\""]);
+    assert_present(&samples, &["texid_cache_hits_total{", "tier=\"host\""]);
+    assert_present(&samples, &["texid_cache_inserts_total"]);
+    assert_present(&samples, &["texid_cache_evictions_total"]);
+
+    // Per-shard breaker gauges and failure/skip counters for both shards.
+    for shard in ["0", "1"] {
+        let key = format!("shard=\"{shard}\"");
+        assert_present(&samples, &["texid_shard_breaker_state{", &key]);
+        assert_present(&samples, &["texid_shard_failures_total{", &key]);
+        assert_present(&samples, &["texid_shard_skips_total{", &key]);
+        assert_present(&samples, &["texid_shard_search_duration_us_bucket{", &key]);
+    }
+    let healthy = series_with(&samples, &["texid_shard_breaker_state{", "shard=\"0\""]);
+    assert!(
+        (0.0..=2.0).contains(&healthy[0].value),
+        "breaker gauge out of range: {}",
+        healthy[0].value
+    );
+
+    // Cluster-level counters and the paper's efficiency gauges.
+    assert_present(&samples, &["texid_cluster_searches_total"]);
+    assert_present(&samples, &["texid_cluster_retries_total"]);
+    assert_present(&samples, &["texid_cluster_degraded_searches_total"]);
+    for gauge in ["texid_schedule_efficiency", "texid_achieved_tflops", "texid_gpu_efficiency"] {
+        let found = series_with(&samples, &[gauge]);
+        assert!(!found.is_empty(), "{gauge} missing");
+        assert!(found[0].value.is_finite(), "{gauge} not finite");
+    }
+
+    // HELP/TYPE headers accompany the families this test relies on.
+    for family in [
+        "texid_stage_duration_us",
+        "texid_cache_hits_total",
+        "texid_shard_breaker_state",
+        "texid_cluster_retries_total",
+        "texid_schedule_efficiency",
+    ] {
+        assert!(body.contains(&format!("# TYPE {family} ")), "no TYPE for {family}");
+        assert!(body.contains(&format!("# HELP {family} ")), "no HELP for {family}");
+    }
+}
+
+/// `/stats` folds the telemetry summary in: the Eq. 3 / Eq. 4 gauges ride
+/// along with the existing counters, and `/metrics` rejects non-GET.
+#[test]
+fn stats_folds_in_efficiency_summary() {
+    let cluster = Arc::new(Cluster::new(small_config(2)));
+    for id in 0..4u64 {
+        cluster.add_texture(id, &reference_features(id)).unwrap();
+    }
+    let _ = cluster.search(&query_features(1), 2);
+
+    let server = api::serve(cluster, "127.0.0.1:0").unwrap();
+    let resp = http_call(server.addr(), "GET", "/stats", b"").unwrap();
+    assert_eq!(resp.status, 200);
+    let v = parse(&resp.text()).unwrap();
+    for field in ["schedule_efficiency", "achieved_tflops", "gpu_efficiency"] {
+        let g = v.get(field).and_then(|x| x.as_f64());
+        assert!(g.is_some(), "missing {field} in /stats: {}", resp.text());
+        assert!(g.unwrap() > 0.0, "{field} should be live after a search");
+    }
+
+    let resp = http_call(server.addr(), "POST", "/metrics", b"").unwrap();
+    assert_eq!(resp.status, 405);
+}
+
+/// The efficiency gauges carry the paper's equations: Eq. 4 schedule
+/// efficiency lands in (0, 1] and Eq. 3 TFLOPS is positive after a clean
+/// search. Uses a private registry so values are this cluster's alone.
+#[test]
+fn efficiency_gauges_track_the_paper_equations() {
+    let reg = Registry::new();
+    let cluster = Cluster::with_faults_in_registry(small_config(2), None, &reg);
+    for id in 0..4u64 {
+        cluster.add_texture(id, &reference_features(id)).unwrap();
+    }
+    let out = cluster.search(&query_features(0), 2);
+    assert!(!out.degraded);
+
+    // Neither ratio is clamped: a hot device cache can push the achieved
+    // speed past the "every image crosses PCIe once" theoretical bound, so
+    // only positivity and finiteness are structural invariants.
+    let stats = cluster.stats();
+    assert!(
+        stats.schedule_efficiency > 0.0 && stats.schedule_efficiency.is_finite(),
+        "Eq. 4 not live: {}",
+        stats.schedule_efficiency
+    );
+    assert!(stats.achieved_tflops > 0.0, "Eq. 3 numerator not live");
+    assert!(
+        stats.gpu_efficiency > 0.0 && stats.gpu_efficiency.is_finite(),
+        "Eq. 3 not live: {}",
+        stats.gpu_efficiency
+    );
+
+    // The same values are what the registry scrape reports.
+    let body = reg.render_prometheus();
+    let samples = parse_exposition(&body);
+    let sched = series_with(&samples, &["texid_schedule_efficiency"]);
+    assert!((sched[0].value - stats.schedule_efficiency).abs() < 1e-12);
+}
