@@ -6,6 +6,7 @@
 //! texid search   --refs textures/ --query q.pgm [--top 5]  offline search over a directory
 //! texid serve    --port 8080 [--containers 4]              run the REST API
 //! texid capacity                                           print the capacity planner table
+//! texid trace    [--streams 4] [--chunks 16] --out t.trace.json   export a Perfetto timeline
 //! ```
 //!
 //! Feature files use the crate's protobuf-style wire format; images are
@@ -78,6 +79,7 @@ fn main() -> ExitCode {
         "search" => cmd_search(&args),
         "serve" => cmd_serve(&args),
         "capacity" => cmd_capacity(),
+        "trace" => cmd_trace(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -98,7 +100,8 @@ const USAGE: &str = "usage:
   texid extract  --image FILE.pgm --out FILE.feat [--surf] [--max 768]
   texid search   --refs DIR --query FILE.pgm [--top 5] [--max-ref 384] [--max-query 768]
   texid serve    [--port 0] [--containers 4]
-  texid capacity";
+  texid capacity
+  texid trace    [--streams 4] [--chunks 16] [--batch 64] [--out pipeline.trace.json]";
 
 fn cmd_gen(args: &Args) -> Result<(), String> {
     let count = args.get_usize("count", 12);
@@ -241,5 +244,43 @@ fn cmd_capacity() -> Result<(), String> {
     for (label, cap, per_ref) in rows {
         println!("{label:<46} {cap:>12} {:>10.1}", per_ref as f64 / 1024.0);
     }
+    Ok(())
+}
+
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    use texid_gpu::{pipeline, DeviceSpec, Precision};
+    let streams = args.get_usize("streams", 4);
+    let chunks = args.get_usize("chunks", 16);
+    let batch = args.get_usize("batch", 64);
+    let out = PathBuf::from(args.get("out").unwrap_or("pipeline.trace.json"));
+    if streams == 0 || chunks == 0 || batch == 0 {
+        return Err("--streams, --chunks, and --batch must be positive".to_string());
+    }
+
+    let spec = DeviceSpec::tesla_p100();
+    let chunk = pipeline::ChunkSpec {
+        batch,
+        m: 768,
+        n: 768,
+        d: 128,
+        precision: Precision::F16,
+        pinned: true,
+    };
+    let (stats, trace) =
+        pipeline::simulate_traced(&spec, &chunk, chunks, streams, spec.calib.stream_serial_fraction);
+    std::fs::write(&out, trace.to_json()).map_err(|e| format!("{}: {e}", out.display()))?;
+    println!(
+        "simulated {} chunks x {} refs on {} streams: makespan {:.0} us, {:.0} img/s",
+        chunks,
+        batch,
+        streams,
+        stats.makespan_us,
+        stats.images_per_second()
+    );
+    println!(
+        "wrote {} trace events to {} — open it at https://ui.perfetto.dev or chrome://tracing",
+        trace.len(),
+        out.display()
+    );
     Ok(())
 }

@@ -13,6 +13,8 @@
 //! | `/health` | GET | — | per-shard breaker state (503 when no shard serves) |
 //! | `/heal` | POST | — | rebuild unhealthy shards from the feature store |
 //! | `/metrics` | GET | — | Prometheus text exposition of all telemetry |
+//! | `/trace/{id}` | GET | — | span tree of one traced request |
+//! | `/traces` | GET | — | recent trace index + dropped-event count |
 //!
 //! Feature payloads travel as base64-encoded protobuf-style bytes
 //! ([`crate::wire`]), matching the paper's protobuf serialization.
@@ -20,13 +22,33 @@
 //! Search responses carry the degraded-mode quorum metadata
 //! (`degraded`, `shards_ok`, `shards_failed`, `shards_skipped`) so clients
 //! can tell a partial answer from a full one.
+//!
+//! # Request tracing
+//!
+//! Every non-observability request runs under a [`TraceContext`]: the
+//! edge honors an incoming `X-Texid-Trace-Id` header (32 hex chars) or
+//! mints a fresh id, records a root span named `"<METHOD> <path>"`
+//! tagged with the response status, and echoes the id back in the same
+//! header on **every** response. `/search` threads the context through
+//! [`Cluster::search_traced`], so its span tree (cluster → shard legs →
+//! retries → sim-clock engine stages) is retrievable at `GET /trace/<id>`
+//! the moment the response arrives, and the response body carries the id
+//! as `"trace_id"`. `/metrics`, `/trace/…`, and `/traces` are served
+//! untraced so observability polling cannot wash real requests out of
+//! the bounded ring ([`texid_obs::global_ring`]).
+//!
+//! `HEAD` is accepted on every GET route (the HTTP layer strips the body
+//! but keeps `Content-Length`); unsupported methods on known routes get
+//! `405` with an `Allow` header.
 
 use crate::b64;
 use crate::cluster::{Cluster, ClusterError, ShardHealth};
 use crate::http::{HttpServer, Request, Response};
 use crate::json::{parse, Json};
 use crate::wire;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
+use texid_obs::{global_ring, Clock, SpanRecord, TraceContext, TRACE_HEADER};
 use texid_sift::FeatureMatrix;
 
 fn err_json(status: u16, msg: &str) -> Response {
@@ -50,10 +72,88 @@ fn cluster_err(e: ClusterError) -> Response {
     }
 }
 
+/// Methods a known route supports, for the `Allow` header of a 405.
+/// `None` means the path matches no route at all (404).
+fn allow_for(segments: &[&str]) -> Option<&'static str> {
+    match segments {
+        ["textures"] => Some("POST"),
+        ["textures", _] => Some("DELETE, GET, HEAD, PUT"),
+        ["search"] | ["verify"] | ["heal"] => Some("POST"),
+        ["stats"] | ["health"] | ["metrics"] | ["traces"] | ["trace", _] => Some("GET, HEAD"),
+        _ => None,
+    }
+}
+
+/// One span as a JSON tree node, children nested and sorted by start.
+fn span_node(span: &SpanRecord, by_parent: &HashMap<u64, Vec<&SpanRecord>>) -> Json {
+    let children: Vec<Json> = by_parent
+        .get(&span.span_id)
+        .map(|kids| kids.iter().map(|c| span_node(c, by_parent)).collect())
+        .unwrap_or_default();
+    let tags: BTreeMap<String, Json> = span
+        .tags
+        .iter()
+        .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+        .collect();
+    Json::obj([
+        ("span_id", Json::Str(format!("{:016x}", span.span_id))),
+        ("parent_id", Json::Str(format!("{:016x}", span.parent_id))),
+        ("name", Json::Str(span.name.clone())),
+        ("clock", Json::Str(span.clock.as_str().to_string())),
+        ("start_us", Json::Num(span.start_us)),
+        ("dur_us", Json::Num(span.dur_us)),
+        ("tags", Json::Obj(tags)),
+        ("children", Json::Arr(children)),
+    ])
+}
+
 /// Route one request against the cluster.
+///
+/// Minting the trace context, recording the request's root span, and
+/// echoing `X-Texid-Trace-Id` all happen here, so in-process callers
+/// (tests, embedding) get identical tracing behavior to the HTTP path.
 pub fn handle(cluster: &Cluster, req: &Request) -> Response {
     let segments: Vec<&str> = req.path.trim_matches('/').split('/').collect();
-    match (req.method.as_str(), segments.as_slice()) {
+    // HEAD is routed exactly like GET; the transport withholds the body
+    // while keeping the headers and Content-Length (RFC 9110 §9.3.2).
+    let method = if req.method == "HEAD" { "GET" } else { req.method.as_str() };
+    let ctx = req
+        .header(TRACE_HEADER)
+        .and_then(TraceContext::parse_trace_id)
+        .map(TraceContext::with_trace_id)
+        .unwrap_or_else(TraceContext::root);
+    // Observability reads are not themselves traced: a dashboard polling
+    // /metrics or /traces must not wash real requests out of the ring.
+    let traced = !matches!(segments.as_slice(), ["metrics"] | ["trace", ..] | ["traces"]);
+    let start_us = texid_obs::wall_now_us();
+    let started = std::time::Instant::now();
+    let resp = route(cluster, method, &segments, req, &ctx);
+    if traced {
+        global_ring().record(SpanRecord {
+            trace_id: ctx.trace_id,
+            span_id: ctx.span_id,
+            parent_id: 0,
+            name: format!("{} {}", req.method, req.path),
+            clock: Clock::Wall,
+            start_us,
+            dur_us: started.elapsed().as_secs_f64() * 1e6,
+            tags: vec![
+                ("track".to_string(), "request".to_string()),
+                ("status".to_string(), resp.status.to_string()),
+            ],
+        });
+    }
+    resp.with_header(TRACE_HEADER, &ctx.trace_id_hex())
+}
+
+fn route(
+    cluster: &Cluster,
+    method: &str,
+    segments: &[&str],
+    req: &Request,
+    ctx: &TraceContext,
+) -> Response {
+    match (method, segments) {
         ("POST", ["textures"]) => {
             let body = String::from_utf8_lossy(&req.body);
             let v = match parse(&body) {
@@ -131,7 +231,7 @@ pub fn handle(cluster: &Cluster, req: &Request) -> Response {
                 Err(resp) => return resp,
             };
             let top = v.get("top").and_then(Json::as_u64).unwrap_or(5) as usize;
-            let out = cluster.search(&features, top);
+            let out = cluster.search_traced(&features, top, Some(ctx));
             let results = Json::Arr(
                 out.results
                     .iter()
@@ -154,6 +254,7 @@ pub fn handle(cluster: &Cluster, req: &Request) -> Response {
                     ("shards_ok", Json::Num(out.shards_ok as f64)),
                     ("shards_failed", Json::Num(out.shards_failed as f64)),
                     ("shards_skipped", Json::Num(out.shards_skipped as f64)),
+                    ("trace_id", Json::Str(ctx.trace_id_hex())),
                 ])
                 .to_string(),
             )
@@ -265,17 +366,75 @@ pub fn handle(cluster: &Cluster, req: &Request) -> Response {
             ),
             Err(e) => cluster_err(e),
         },
-        (
-            _,
-            ["textures"] | ["textures", _] | ["search"] | ["verify"] | ["stats"] | ["health"]
-            | ["heal"] | ["metrics"],
-        ) => err_json(405, "method not allowed"),
-        _ => err_json(404, "no such route"),
+        ("GET", ["trace", id]) => {
+            let Some(trace_id) = TraceContext::parse_trace_id(id) else {
+                return err_json(400, "bad trace id (expected up to 32 hex chars)");
+            };
+            let spans = global_ring().snapshot_trace(trace_id);
+            if spans.is_empty() {
+                return err_json(404, "unknown trace id (never recorded, or evicted from the ring)");
+            }
+            let ids: HashSet<u64> = spans.iter().map(|s| s.span_id).collect();
+            let mut by_parent: HashMap<u64, Vec<&SpanRecord>> = HashMap::new();
+            for s in &spans {
+                by_parent.entry(s.parent_id).or_default().push(s);
+            }
+            // Roots: true roots plus orphans whose parent was evicted —
+            // a pressured ring still yields a renderable forest.
+            let roots: Vec<Json> = spans
+                .iter()
+                .filter(|s| s.parent_id == 0 || !ids.contains(&s.parent_id))
+                .map(|s| span_node(s, &by_parent))
+                .collect();
+            Response::json(
+                200,
+                Json::obj([
+                    ("trace_id", Json::Str(format!("{trace_id:032x}"))),
+                    ("span_count", Json::Num(spans.len() as f64)),
+                    ("spans", Json::Arr(roots)),
+                ])
+                .to_string(),
+            )
+        }
+        ("GET", ["traces"]) => {
+            let ring = global_ring();
+            let traces: Vec<Json> = ring
+                .recent_traces(50)
+                .iter()
+                .map(|t| {
+                    Json::obj([
+                        ("trace_id", Json::Str(format!("{:032x}", t.trace_id))),
+                        ("root", t.root.clone().map(Json::Str).unwrap_or(Json::Null)),
+                        ("start_us", Json::Num(t.start_us)),
+                        ("dur_us", Json::Num(t.dur_us)),
+                        ("spans", Json::Num(t.spans as f64)),
+                    ])
+                })
+                .collect();
+            Response::json(
+                200,
+                Json::obj([
+                    ("traces", Json::Arr(traces)),
+                    ("ring_capacity", Json::Num(ring.capacity() as f64)),
+                    ("dropped_events", Json::Num(ring.dropped() as f64)),
+                ])
+                .to_string(),
+            )
+        }
+        _ => match allow_for(segments) {
+            Some(allow) => {
+                err_json(405, "method not allowed").with_header("Allow", allow)
+            }
+            None => err_json(404, "no such route"),
+        },
     }
 }
 
 /// Spawn the REST service bound to `addr` (use `127.0.0.1:0` in tests).
 pub fn serve(cluster: Arc<Cluster>, addr: &str) -> std::io::Result<HttpServer> {
+    // Touch the global ring now so `texid_trace_events_dropped_total`
+    // exists on the very first /metrics scrape, searches or not.
+    let _ = global_ring();
     HttpServer::spawn(addr, Arc::new(move |req: &Request| handle(&cluster, req)))
 }
 
@@ -392,6 +551,115 @@ mod tests {
         assert_eq!(http_call(addr, "GET", "/textures/abc", b"").unwrap().status, 400);
         assert_eq!(http_call(addr, "POST", "/health", b"").unwrap().status, 405);
         assert_eq!(http_call(addr, "GET", "/heal", b"").unwrap().status, 405);
+    }
+
+    #[test]
+    fn head_and_allow_semantics() {
+        let cluster = test_cluster();
+        let server = serve(cluster, "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+
+        // HEAD mirrors GET: same status and Content-Length, empty body.
+        let get = http_call(addr, "GET", "/stats", b"").unwrap();
+        let head = http_call(addr, "HEAD", "/stats", b"").unwrap();
+        assert_eq!(head.status, 200);
+        assert!(head.body.is_empty());
+        assert_eq!(
+            head.header("content-length").unwrap(),
+            get.body.len().to_string(),
+            "HEAD must announce the GET body length"
+        );
+
+        // HEAD works on /metrics and /health too.
+        assert_eq!(http_call(addr, "HEAD", "/metrics", b"").unwrap().status, 200);
+        assert_eq!(http_call(addr, "HEAD", "/health", b"").unwrap().status, 200);
+
+        // 405s on known routes carry Allow.
+        let resp = http_call(addr, "PATCH", "/stats", b"").unwrap();
+        assert_eq!(resp.status, 405);
+        assert_eq!(resp.header("allow"), Some("GET, HEAD"));
+        let resp = http_call(addr, "GET", "/search", b"").unwrap();
+        assert_eq!(resp.status, 405);
+        assert_eq!(resp.header("allow"), Some("POST"));
+        let resp = http_call(addr, "HEAD", "/heal", b"").unwrap();
+        assert_eq!(resp.status, 405);
+        assert_eq!(resp.header("allow"), Some("POST"));
+        let resp = http_call(addr, "PUT", "/textures", b"{}").unwrap();
+        assert_eq!(resp.status, 405);
+        assert_eq!(resp.header("allow"), Some("POST"));
+        // Unknown paths stay 404 with no Allow.
+        let resp = http_call(addr, "PATCH", "/nope", b"").unwrap();
+        assert_eq!(resp.status, 404);
+        assert_eq!(resp.header("allow"), None);
+    }
+
+    #[test]
+    fn trace_routes_serve_span_trees() {
+        use crate::http::http_call_with_headers;
+        let cluster = test_cluster();
+        let server = serve(cluster, "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        for id in 0..2u64 {
+            let body = format!(r#"{{"id": {id}, "features": "{}"}}"#, features_b64(id, 128));
+            http_call(addr, "POST", "/textures", body.as_bytes()).unwrap();
+        }
+
+        // Search with a caller-chosen trace id.
+        let tid = "00000000000000000000000000abc123";
+        let body = format!(r#"{{"features": "{}", "top": 2}}"#, features_b64(0, 256));
+        let resp = http_call_with_headers(
+            addr,
+            "POST",
+            "/search",
+            &[("X-Texid-Trace-Id", tid)],
+            body.as_bytes(),
+        )
+        .unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("x-texid-trace-id"), Some(tid), "header echoed");
+        let v = parse(&resp.text()).unwrap();
+        assert_eq!(v.get("trace_id").and_then(Json::as_str), Some(tid), "{}", resp.text());
+
+        // The span tree is retrievable and rooted at the request span.
+        let resp = http_call(addr, "GET", &format!("/trace/{tid}"), b"").unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        let v = parse(&resp.text()).unwrap();
+        assert_eq!(v.get("trace_id").and_then(Json::as_str), Some(tid));
+        let roots = v.get("spans").unwrap().as_arr().unwrap();
+        let root = roots
+            .iter()
+            .find(|r| r.get("name").and_then(Json::as_str) == Some("POST /search"))
+            .expect("request root span");
+        assert_eq!(root.get("clock").and_then(Json::as_str), Some("wall"));
+        let kids = root.get("children").unwrap().as_arr().unwrap();
+        let cluster_span = kids
+            .iter()
+            .find(|c| c.get("name").and_then(Json::as_str) == Some("cluster.search"))
+            .expect("cluster.search child");
+        let legs = cluster_span.get("children").unwrap().as_arr().unwrap();
+        assert_eq!(legs.len(), 2, "one leg per shard: {}", resp.text());
+        // Each leg carries sim-clock stage children on a separate track.
+        for leg in legs {
+            let stages = leg.get("children").unwrap().as_arr().unwrap();
+            assert!(stages
+                .iter()
+                .any(|s| s.get("clock").and_then(Json::as_str) == Some("sim")));
+        }
+
+        // The index lists the trace; unknown/invalid ids 404/400.
+        let resp = http_call(addr, "GET", "/traces", b"").unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(resp.text().contains(tid), "{}", resp.text());
+        assert!(resp.text().contains("\"dropped_events\""));
+        assert_eq!(http_call(addr, "GET", "/trace/ffffffffffffffff", b"").unwrap().status, 404);
+        assert_eq!(http_call(addr, "GET", "/trace/not-hex!", b"").unwrap().status, 400);
+
+        // The dropped counter is registered and scrapeable.
+        let metrics = http_call(addr, "GET", "/metrics", b"").unwrap();
+        assert!(
+            metrics.text().contains("texid_trace_events_dropped_total"),
+            "dropped counter must be exported"
+        );
     }
 
     #[test]

@@ -38,7 +38,7 @@ use texid_core::{Engine, EngineConfig, SearchReport};
 use texid_gpu::{DeviceSpec, GpuSim};
 use texid_knn::geometry::{verify_matches, RansacParams};
 use texid_knn::{match_pair, ExecMode, FeatureBlock, MatchConfig};
-use texid_obs::{Counter, Gauge, Histogram, Registry};
+use texid_obs::{global_ring, Counter, Gauge, Histogram, Registry, TraceContext, TraceRing};
 use texid_sift::FeatureMatrix;
 
 /// Numeric encoding of [`ShardHealth`] for the breaker-state gauge.
@@ -318,6 +318,12 @@ pub struct ClusterSearchResult {
     pub shards_skipped: usize,
     /// True when any shard failed or was skipped: results may be partial.
     pub degraded: bool,
+    /// Trace id of the span tree this search recorded (`None` when the
+    /// search ran untraced). Hex form via
+    /// `texid_obs::TraceContext::with_trace_id(id).trace_id_hex()`; the
+    /// tree is retrievable from `texid_obs::global_ring()` or
+    /// `GET /trace/<id>`.
+    pub trace_id: Option<u128>,
 }
 
 impl ClusterSearchResult {
@@ -490,10 +496,72 @@ impl Cluster {
     /// The single accounting point for a transient-fault retry: `/stats`
     /// and the Prometheus counter move in lockstep, exactly once per
     /// attempt, no matter which code path (store read/write, search
-    /// planning) performed the retry.
-    fn note_retry(&self) {
+    /// planning) performed the retry. When the retry happens inside a
+    /// traced search, `trace` carries the shard leg's context and the same
+    /// single point also records exactly one `retry` span — counter and
+    /// span tree cannot drift.
+    fn note_retry(&self, trace: Option<(&TraceRing, TraceContext, usize)>) {
         self.retries.fetch_add(1, Ordering::Relaxed);
         self.telemetry.retries.inc();
+        if let Some((ring, leg, shard)) = trace {
+            ring.mark(&leg, "retry", vec![("shard".to_string(), shard.to_string())]);
+        }
+    }
+
+    /// Phase-3 trace bookkeeping for one shard leg. Dispatched legs
+    /// already recorded their wall-clock `shard.leg` span in-thread; here
+    /// the answered ones additionally get **sim-clock** engine-stage child
+    /// spans (serial layout from sim time 0 on a per-shard `… (sim)`
+    /// track), while never-dispatched legs get a zero-length leg span
+    /// tagged with why they did not run.
+    fn trace_leg_outcome(
+        &self,
+        ring: &TraceRing,
+        leg: &TraceContext,
+        shard: usize,
+        plan: &LegPlan,
+        outcome: &Gathered,
+    ) {
+        match (plan, outcome) {
+            (LegPlan::Skip, _) => drop(
+                ring.span(leg, "shard.leg")
+                    .tag("shard", &shard.to_string())
+                    .tag("track", &format!("shard {shard}"))
+                    .tag("outcome", "skipped (breaker open)"),
+            ),
+            (LegPlan::FailFast, _) => drop(
+                ring.span(leg, "shard.leg")
+                    .tag("shard", &shard.to_string())
+                    .tag("track", &format!("shard {shard}"))
+                    .tag("outcome", "failed (retries exhausted)"),
+            ),
+            (LegPlan::Run { .. }, Gathered::Answered(_, report)) => {
+                let track = format!("shard {shard} (sim)");
+                let tags = |stage: &str| {
+                    vec![
+                        ("shard".to_string(), shard.to_string()),
+                        ("stage".to_string(), stage.to_string()),
+                        ("track".to_string(), track.clone()),
+                    ]
+                };
+                ring.record_sim(leg, "device total", 0.0, report.total_us, tags("total"));
+                let stages = [
+                    ("h2d", report.h2d_us),
+                    ("hgemm", report.gemm_us),
+                    ("top2", report.sort_us),
+                    ("d2h", report.d2h_us),
+                    ("post", report.post_us),
+                ];
+                let mut t = 0.0;
+                for (name, dur) in stages {
+                    ring.record_sim(leg, name, t, dur, tags(name));
+                    t += dur;
+                }
+            }
+            // Dispatched-but-failed: the in-thread span guard already
+            // recorded the leg (including panics); nothing to add.
+            (LegPlan::Run { .. }, _) => {}
+        }
     }
 
     /// Configuration in force.
@@ -529,7 +597,7 @@ impl Cluster {
                         return Err(ClusterError::Timeout(format!("kv read {key}")));
                     }
                     attempt += 1;
-                    self.note_retry();
+                    self.note_retry(None);
                 }
                 Some(FaultKind::KvLoss) => return Ok(None),
                 Some(FaultKind::KvCorrupt) => {
@@ -552,7 +620,7 @@ impl Cluster {
                     return Err(ClusterError::Unavailable(format!("feature store ({key})")));
                 }
                 attempt += 1;
-                self.note_retry();
+                self.note_retry(None);
             }
         }
         self.store.set(key, value);
@@ -693,18 +761,52 @@ impl Cluster {
     /// the result carries quorum metadata and `degraded = true` whenever
     /// coverage was partial.
     pub fn search(&self, query: &FeatureMatrix, top_k: usize) -> ClusterSearchResult {
+        self.search_traced(query, top_k, None)
+    }
+
+    /// [`Cluster::search`] under an optional trace context (the REST edge
+    /// passes the request's [`TraceContext`], library callers may pass
+    /// their own). When present, the search records a span tree into
+    /// [`texid_obs::global_ring`]: a wall-clock `cluster.search` span, one
+    /// wall-clock `shard.leg` span per shard (recorded even when the leg
+    /// panics, and as a zero-length span for skipped/fail-fast legs, each
+    /// tagged with its `outcome`), zero-length `retry` marks — exactly one
+    /// per retry attempt, emitted by the same accounting point as the
+    /// retry counters — and, for answered legs, **sim-clock** child spans
+    /// of the engine stages (`h2d`, `hgemm`, `top2`, `d2h`, `post`) laid
+    /// out serially from sim time 0, on per-shard `… (sim)` tracks so the
+    /// two clocks never share a timeline.
+    pub fn search_traced(
+        &self,
+        query: &FeatureMatrix,
+        top_k: usize,
+        parent: Option<&TraceContext>,
+    ) -> ClusterSearchResult {
         self.total_searches.fetch_add(1, Ordering::Relaxed);
         self.telemetry.searches.inc();
+        let ring: Option<&'static TraceRing> = parent.map(|_| global_ring());
+        let cluster_ctx = parent.map(|p| p.child());
+        let _cluster_span = cluster_ctx.as_ref().map(|c| {
+            global_ring()
+                .span(c, "cluster.search")
+                .tag("track", "cluster")
+                .tag("top_k", &top_k.to_string())
+        });
         let live_key = self.live_key.lock().clone();
         let external_of = self.external_of.lock().clone();
         let backoff: Backoff = self.cfg.resilience.backoff;
 
         // Phase 1 (sequential, deterministic): breaker gating and fault
-        // decisions, fixed per shard before any thread is spawned.
+        // decisions, fixed per shard before any thread is spawned. Leg
+        // contexts are minted here, before any fault decision, so retry
+        // marks drawn while planning already parent to the right leg.
         let mut plans: Vec<LegPlan> = Vec::with_capacity(self.shards.len());
+        let mut leg_ctxs: Vec<Option<TraceContext>> = Vec::with_capacity(self.shards.len());
         {
             let mut states = self.shard_health.lock();
             for (i, st) in states.iter_mut().enumerate() {
+                let leg_ctx = cluster_ctx.as_ref().map(|c| c.child());
+                leg_ctxs.push(leg_ctx);
                 if st.health() == ShardHealth::Down {
                     st.skips_while_down += 1;
                     if st.skips_while_down < self.cfg.resilience.cooldown_searches {
@@ -724,7 +826,7 @@ impl Cluster {
                                     plan = LegPlan::FailFast;
                                     break;
                                 }
-                                self.note_retry();
+                                self.note_retry(ring.zip(leg_ctx).map(|(r, c)| (r, c, i)));
                             }
                             Some(FaultKind::ShardCrash) => {
                                 plan = LegPlan::Run { crash: true, straggle: None, backoff_us: 0.0 };
@@ -760,10 +862,21 @@ impl Cluster {
                 .shards
                 .iter()
                 .zip(&plans)
-                .map(|(shard, plan)| match *plan {
+                .enumerate()
+                .map(|(i, (shard, plan))| match *plan {
                     LegPlan::Run { crash, straggle, backoff_us } => {
+                        let leg_ctx = leg_ctxs[i];
                         Some(scope.spawn(
                             move || -> Result<(Vec<(u64, usize)>, SearchReport), ClusterError> {
+                                // The guard records on drop even if this
+                                // leg panics below, so crashed legs stay
+                                // visible in the span tree.
+                                let _leg_span = leg_ctx.as_ref().map(|c| {
+                                    global_ring()
+                                        .span(c, "shard.leg")
+                                        .tag("shard", &i.to_string())
+                                        .tag("track", &format!("shard {i}"))
+                                });
                                 if crash {
                                     panic!("injected shard crash (fault plan)");
                                 }
@@ -817,6 +930,9 @@ impl Cluster {
                     Gathered::Skipped => self.telemetry.shard_skips[i].inc(),
                 }
                 self.telemetry.breaker_state[i].set(breaker_gauge_value(st.health()));
+                if let (Some(ring), Some(leg)) = (ring, leg_ctxs[i]) {
+                    self.trace_leg_outcome(ring, &leg, i, &plans[i], g);
+                }
             }
         }
 
@@ -899,6 +1015,7 @@ impl Cluster {
             shards_failed,
             shards_skipped,
             degraded,
+            trace_id: parent.map(|p| p.trace_id),
         }
     }
 
@@ -1091,6 +1208,76 @@ mod tests {
         assert!(!out.degraded);
         assert_eq!(out.shards_ok, 3);
         assert_eq!(out.shards_failed, 0);
+    }
+
+    #[test]
+    fn traced_search_records_span_tree() {
+        let cluster = small_cluster(3);
+        for id in 0..6u64 {
+            cluster.add_texture(id, &features(id, 128)).unwrap();
+        }
+        let root = TraceContext::root();
+        let out = cluster.search_traced(&query_for(4), 3, Some(&root));
+        assert_eq!(out.trace_id, Some(root.trace_id));
+        // Untraced searches stay untraced.
+        assert_eq!(cluster.search(&query_for(4), 3).trace_id, None);
+
+        let spans = global_ring().snapshot_trace(root.trace_id);
+        let cluster_span = spans.iter().find(|s| s.name == "cluster.search").unwrap();
+        assert_eq!(cluster_span.parent_id, root.span_id);
+        assert_eq!(cluster_span.clock, texid_obs::Clock::Wall);
+        let legs: Vec<_> = spans.iter().filter(|s| s.name == "shard.leg").collect();
+        assert_eq!(legs.len(), 3, "one leg span per shard");
+        for leg in &legs {
+            assert_eq!(leg.parent_id, cluster_span.span_id);
+            // Each answered leg has serial sim-stage children.
+            let stages: Vec<_> = spans
+                .iter()
+                .filter(|s| s.parent_id == leg.span_id && s.clock == texid_obs::Clock::Sim)
+                .collect();
+            assert_eq!(stages.len(), 6, "total + 5 stages");
+            assert!(stages.iter().any(|s| s.name == "hgemm"));
+            assert!(stages.iter().all(|s| s.tag("track").unwrap().ends_with("(sim)")));
+        }
+        assert!(spans.iter().all(|s| s.name != "retry"), "no faults, no retry spans");
+    }
+
+    #[test]
+    fn traced_search_marks_retries_and_failed_legs() {
+        let plan = FaultPlan::new(42).transient_search(0, 2);
+        let cluster = Cluster::with_faults(small_config(2), Some(plan));
+        for id in 0..4u64 {
+            cluster.add_texture(id, &features(id, 128)).unwrap();
+        }
+        let root = TraceContext::root();
+        let out = cluster.search_traced(&query_for(1), 2, Some(&root));
+        assert_eq!(out.shards_ok, 2, "transients are retried through");
+
+        let spans = global_ring().snapshot_trace(root.trace_id);
+        let retries: Vec<_> = spans.iter().filter(|s| s.name == "retry").collect();
+        assert_eq!(retries.len(), 2, "exactly one span per note_retry");
+        assert!(retries.iter().all(|s| s.tag("shard") == Some("0")));
+        // Retry marks parent to shard 0's leg span.
+        let leg0 = spans
+            .iter()
+            .find(|s| s.name == "shard.leg" && s.tag("shard") == Some("0"))
+            .unwrap();
+        assert!(retries.iter().all(|s| s.parent_id == leg0.span_id));
+    }
+
+    #[test]
+    fn traced_search_keeps_crashed_legs_visible() {
+        let plan = FaultPlan::new(7).crash_shard(1);
+        let cluster = Cluster::with_faults(small_config(2), Some(plan));
+        for id in 0..4u64 {
+            cluster.add_texture(id, &features(id, 128)).unwrap();
+        }
+        let root = TraceContext::root();
+        let out = cluster.search_traced(&query_for(1), 2, Some(&root));
+        assert_eq!(out.shards_failed, 1);
+        let spans = global_ring().snapshot_trace(root.trace_id);
+        let legs: Vec<_> = spans.iter().filter(|s| s.name == "shard.leg").collect();
+        assert_eq!(legs.len(), 2, "the crashed leg still records its span");
     }
 
     #[test]

@@ -55,6 +55,10 @@ pub struct Response {
     pub status: u16,
     /// Content type (defaults to JSON).
     pub content_type: String,
+    /// Extra response headers (e.g. `Allow`, `X-Texid-Trace-Id`), written
+    /// verbatim after `Content-Type`/`Content-Length`. On a client-parsed
+    /// response, all received headers land here lower-cased.
+    pub headers: Vec<(String, String)>,
     /// Body bytes.
     pub body: Vec<u8>,
 }
@@ -62,7 +66,12 @@ pub struct Response {
 impl Response {
     /// A JSON response.
     pub fn json(status: u16, body: String) -> Response {
-        Response { status, content_type: "application/json".to_string(), body: body.into_bytes() }
+        Response {
+            status,
+            content_type: "application/json".to_string(),
+            headers: Vec::new(),
+            body: body.into_bytes(),
+        }
     }
 
     /// A plain-text response in Prometheus exposition content type
@@ -71,8 +80,23 @@ impl Response {
         Response {
             status,
             content_type: "text/plain; version=0.0.4".to_string(),
+            headers: Vec::new(),
             body: body.into_bytes(),
         }
+    }
+
+    /// Attach an extra response header (chainable).
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
     }
 
     /// Body as UTF-8 (lossy).
@@ -173,15 +197,33 @@ pub fn read_request(stream: &mut impl Read) -> Result<Option<Request>, RequestEr
 
 /// Write a response with `Connection: close`.
 pub fn write_response(stream: &mut impl Write, resp: &Response) -> std::io::Result<()> {
+    write_response_opts(stream, resp, true)
+}
+
+/// [`write_response`] with body control: `include_body = false` answers a
+/// `HEAD` request — status, headers, and the *real* `Content-Length` go
+/// out, the body does not (RFC 9110 §9.3.2).
+pub fn write_response_opts(
+    stream: &mut impl Write,
+    resp: &Response,
+    include_body: bool,
+) -> std::io::Result<()> {
     write!(
         stream,
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
         resp.status,
         status_text(resp.status),
         resp.content_type,
         resp.body.len()
     )?;
-    stream.write_all(&resp.body)
+    for (k, v) in &resp.headers {
+        write!(stream, "{k}: {v}\r\n")?;
+    }
+    write!(stream, "Connection: close\r\n\r\n")?;
+    if include_body {
+        stream.write_all(&resp.body)?;
+    }
+    Ok(())
 }
 
 /// A running HTTP server; dropped or `stop()`ed, it shuts down.
@@ -214,15 +256,21 @@ impl HttpServer {
                     // IO_TIMEOUT, never an unbounded hang.
                     let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
                     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+                    let mut is_head = false;
                     let resp = match read_request(&mut stream) {
-                        Ok(Some(req)) => handler(&req),
+                        Ok(Some(req)) => {
+                            is_head = req.method == "HEAD";
+                            handler(&req)
+                        }
                         Ok(None) => return,
                         Err(RequestError::TooLarge { .. }) => {
                             Response::json(413, r#"{"error":"request body too large"}"#.to_string())
                         }
                         Err(RequestError::Io(_)) => return,
                     };
-                    let _ = write_response(&mut stream, &resp);
+                    // HEAD gets the same status line, headers, and
+                    // Content-Length as the GET would — minus the body.
+                    let _ = write_response_opts(&mut stream, &resp, !is_head);
                     let _ = stream.flush();
                 });
             }
@@ -259,12 +307,30 @@ pub fn http_call(
     path: &str,
     body: &[u8],
 ) -> std::io::Result<Response> {
+    http_call_with_headers(addr, method, path, &[], body)
+}
+
+/// [`http_call`] with extra request headers (e.g. `X-Texid-Trace-Id`).
+/// The returned [`Response`] carries all received headers lower-cased in
+/// `Response::headers`. A `HEAD` call never reads a body, whatever the
+/// announced `Content-Length`.
+pub fn http_call_with_headers(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> std::io::Result<Response> {
     let mut stream = TcpStream::connect(addr)?;
     write!(
         stream,
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
         body.len()
     )?;
+    for (k, v) in extra_headers {
+        write!(stream, "{k}: {v}\r\n")?;
+    }
+    write!(stream, "Connection: close\r\n\r\n")?;
     stream.write_all(body)?;
     stream.flush()?;
 
@@ -279,6 +345,7 @@ pub fn http_call(
 
     let mut content_type = String::new();
     let mut content_length = None;
+    let mut headers = Vec::new();
     loop {
         let mut h = String::new();
         if reader.read_line(&mut h)? == 0 {
@@ -290,26 +357,32 @@ pub fn http_call(
         }
         if let Some((k, v)) = h.split_once(':') {
             let k = k.trim().to_ascii_lowercase();
+            let v = v.trim().to_string();
             if k == "content-type" {
-                content_type = v.trim().to_string();
+                content_type = v.clone();
             } else if k == "content-length" {
-                content_length = v.trim().parse::<usize>().ok();
+                content_length = v.parse::<usize>().ok();
             }
+            headers.push((k, v));
         }
     }
-    let body = match content_length {
-        Some(len) => {
-            let mut b = vec![0u8; len];
-            reader.read_exact(&mut b)?;
-            b
-        }
-        None => {
-            let mut b = Vec::new();
-            reader.read_to_end(&mut b)?;
-            b
+    let body = if method.eq_ignore_ascii_case("HEAD") {
+        Vec::new()
+    } else {
+        match content_length {
+            Some(len) => {
+                let mut b = vec![0u8; len];
+                reader.read_exact(&mut b)?;
+                b
+            }
+            None => {
+                let mut b = Vec::new();
+                reader.read_to_end(&mut b)?;
+                b
+            }
         }
     };
-    Ok(Response { status, content_type, body })
+    Ok(Response { status, content_type, headers, body })
 }
 
 #[cfg(test)]
@@ -428,6 +501,58 @@ mod tests {
         reader.read_line(&mut status_line).unwrap();
         assert!(status_line.contains("413"), "{status_line}");
         assert!(status_line.contains("Payload Too Large"), "{status_line}");
+    }
+
+    #[test]
+    fn head_gets_headers_and_length_but_no_body() {
+        let server = echo_server();
+        let head = http_call(server.addr(), "HEAD", "/hello", b"").unwrap();
+        assert_eq!(head.status, 200);
+        assert!(head.body.is_empty(), "HEAD must carry no body");
+        // Content-Length matches what the equivalent GET would send.
+        let get = http_call(server.addr(), "GET", "/hello", b"").unwrap();
+        let announced: usize = head.header("content-length").unwrap().parse().unwrap();
+        // The echo handler includes the method name, so lengths differ by
+        // exactly len("HEAD") - len("GET").
+        assert_eq!(announced, get.body.len() + 1);
+        assert_eq!(head.content_type, "application/json");
+    }
+
+    #[test]
+    fn extra_request_and_response_headers_roundtrip() {
+        let server = HttpServer::spawn(
+            "127.0.0.1:0",
+            Arc::new(|req: &Request| {
+                let echoed = req.header("x-texid-trace-id").unwrap_or("none").to_string();
+                Response::json(200, "{}".to_string()).with_header("X-Texid-Trace-Id", &echoed)
+            }),
+        )
+        .unwrap();
+        let resp = http_call_with_headers(
+            server.addr(),
+            "GET",
+            "/",
+            &[("X-Texid-Trace-Id", "deadbeef")],
+            b"",
+        )
+        .unwrap();
+        assert_eq!(resp.header("x-texid-trace-id"), Some("deadbeef"));
+        assert_eq!(resp.header("X-TEXID-TRACE-ID"), Some("deadbeef"));
+    }
+
+    #[test]
+    fn allow_header_is_written() {
+        let server = HttpServer::spawn(
+            "127.0.0.1:0",
+            Arc::new(|_req: &Request| {
+                Response::json(405, r#"{"error":"method not allowed"}"#.to_string())
+                    .with_header("Allow", "GET, HEAD")
+            }),
+        )
+        .unwrap();
+        let resp = http_call(server.addr(), "PATCH", "/x", b"").unwrap();
+        assert_eq!(resp.status, 405);
+        assert_eq!(resp.header("allow"), Some("GET, HEAD"));
     }
 
     #[test]

@@ -17,6 +17,14 @@
 //!   (shard crashes, stragglers, KV loss/corruption, transient errors)
 //!   driving the cluster's degraded-mode scatter-gather, circuit breakers,
 //!   and [`cluster::Cluster::heal`] supervisor.
+//! * **Request tracing**: every REST request gets a 128-bit trace id
+//!   (joined from the `X-Texid-Trace-Id` header or minted at the edge)
+//!   that [`cluster::Cluster::search_traced`] propagates into each shard
+//!   leg; the resulting span tree — request → cluster → legs → retries →
+//!   sim-clock engine stages — is served at `GET /trace/{id}` and indexed
+//!   at `GET /traces`. [`wire::encode_trace`] / [`wire::decode_trace`] are
+//!   the binary propagation twin of the header. See OBSERVABILITY.md,
+//!   "Tracing".
 
 pub mod api;
 pub mod b64;

@@ -24,6 +24,7 @@
 use crate::cost;
 use crate::sim::GpuSim;
 use crate::spec::{DeviceSpec, Precision};
+use texid_obs::ChromeTrace;
 
 /// One chunk's workload (a reference batch crossing PCIe and being matched).
 #[derive(Clone, Copy, Debug)]
@@ -94,6 +95,57 @@ pub fn chunk_serial_us(spec: &DeviceSpec, chunk: &ChunkSpec) -> f64 {
     h2d + gemm + sort + d2h + post
 }
 
+/// Fixed sim-clock track layout for traced runs: the driver lock and the
+/// three device engines come first (in schedule-contention order), then
+/// one track per stream. See [`simulate_traced`].
+struct TraceTracks {
+    driver: u32,
+    h2d: u32,
+    compute: u32,
+    d2h: u32,
+    streams: Vec<u32>,
+}
+
+impl TraceTracks {
+    fn new(trace: &mut ChromeTrace, n_streams: usize) -> TraceTracks {
+        let pid = ChromeTrace::SIM_PID;
+        TraceTracks {
+            driver: trace.track(pid, "driver lock"),
+            h2d: trace.track(pid, "engine: H2D"),
+            compute: trace.track(pid, "engine: compute"),
+            d2h: trace.track(pid, "engine: D2H"),
+            streams: (0..n_streams).map(|s| trace.track(pid, &format!("stream {s}"))).collect(),
+        }
+    }
+
+    /// Record one op both on its stream's track and (when the op occupies
+    /// a shared device resource) on that resource's track, so per-stream
+    /// progress and engine contention are both visible.
+    fn record(
+        &self,
+        trace: &mut ChromeTrace,
+        engine_tid: Option<u32>,
+        stream: usize,
+        name: &str,
+        rec: &crate::OpRecord,
+        chunk: usize,
+    ) {
+        let pid = ChromeTrace::SIM_PID;
+        let args = [("chunk", chunk.to_string()), ("stream", stream.to_string())];
+        if let Some(tid) = engine_tid {
+            trace.add_complete((pid, tid), name, "engine", rec.start_us, rec.duration_us(), &args);
+        }
+        trace.add_complete(
+            (pid, self.streams[stream]),
+            name,
+            "stream",
+            rec.start_us,
+            rec.duration_us(),
+            &args,
+        );
+    }
+}
+
 /// Run the discrete-event pipeline: `n_chunks` chunks distributed
 /// round-robin over `n_streams` streams, with per-chunk driver sections of
 /// `driver_fraction · chunk_serial_time` holding the global lock.
@@ -104,33 +156,77 @@ pub fn simulate(
     n_streams: usize,
     driver_fraction: f64,
 ) -> PipelineStats {
+    run(spec, chunk, n_chunks, n_streams, driver_fraction, None)
+}
+
+/// [`simulate`], additionally rendering the schedule as a Chrome
+/// trace-event timeline: one sim-clock track per stream (the chunk's
+/// journey through driver → H2D → HGEMM → top2 → D2H → post), plus one
+/// track each for the driver lock and the three device engines, where
+/// events are non-overlapping by construction (each engine is a serial
+/// timeline). All timestamps are **sim-clock** microseconds; the trace
+/// contains no wall-clock events. Write [`ChromeTrace::to_json`] to a
+/// `.trace.json` and open it in Perfetto/`chrome://tracing`.
+pub fn simulate_traced(
+    spec: &DeviceSpec,
+    chunk: &ChunkSpec,
+    n_chunks: usize,
+    n_streams: usize,
+    driver_fraction: f64,
+) -> (PipelineStats, ChromeTrace) {
+    let mut trace = ChromeTrace::new();
+    let stats = run(spec, chunk, n_chunks, n_streams, driver_fraction, Some(&mut trace));
+    (stats, trace)
+}
+
+fn run(
+    spec: &DeviceSpec,
+    chunk: &ChunkSpec,
+    n_chunks: usize,
+    n_streams: usize,
+    driver_fraction: f64,
+    mut trace: Option<&mut ChromeTrace>,
+) -> PipelineStats {
     assert!(n_streams >= 1, "need at least one stream");
     assert!((0.0..1.0).contains(&driver_fraction), "fraction in [0, 1)");
     let mut sim = GpuSim::new(spec.clone());
     let streams: Vec<_> = (0..n_streams).map(|_| sim.create_stream()).collect();
+    let tracks = trace.as_deref_mut().map(|t| TraceTracks::new(t, n_streams));
 
     let serial = chunk_serial_us(spec, chunk);
     let driver_us = driver_fraction * serial;
 
     for c in 0..n_chunks {
-        let st = streams[c % n_streams];
+        let s = c % n_streams;
+        let st = streams[s];
         // The CPU thread takes the driver lock, then issues the chunk.
-        sim.driver_section(st, driver_us);
-        sim.h2d(st, chunk.h2d_bytes(), chunk.pinned);
-        sim.launch(st, crate::Kernel::Gemm {
+        let drv = sim.driver_section(st, driver_us);
+        let h2d = sim.h2d(st, chunk.h2d_bytes(), chunk.pinned);
+        let gemm = sim.launch(st, crate::Kernel::Gemm {
             m_rows: chunk.batch * chunk.m,
             n_cols: chunk.n,
             k_depth: chunk.d,
             precision: chunk.precision,
             tensor_core: false,
         });
-        sim.launch(st, crate::Kernel::Top2Scan {
+        let top2 = sim.launch(st, crate::Kernel::Top2Scan {
             m_rows: chunk.m,
             n_cols: chunk.batch * chunk.n,
             precision: chunk.precision,
         });
-        sim.d2h(st, chunk.d2h_bytes());
-        sim.host_work(st, cost::cpu_post_us(spec, chunk.batch));
+        let d2h = sim.d2h(st, chunk.d2h_bytes());
+        let post = sim.host_work(st, cost::cpu_post_us(spec, chunk.batch));
+
+        if let (Some(t), Some(tk)) = (trace.as_deref_mut(), tracks.as_ref()) {
+            if driver_us > 0.0 {
+                tk.record(t, Some(tk.driver), s, "driver", &drv, c);
+            }
+            tk.record(t, Some(tk.h2d), s, "h2d", &h2d, c);
+            tk.record(t, Some(tk.compute), s, "hgemm", &gemm, c);
+            tk.record(t, Some(tk.compute), s, "top2", &top2, c);
+            tk.record(t, Some(tk.d2h), s, "d2h", &d2h, c);
+            tk.record(t, None, s, "post", &post, c);
+        }
     }
 
     let makespan = sim.device_sync();
@@ -251,6 +347,24 @@ mod tests {
         // And streams do help overall.
         let s1 = simulate(&spec, &chunk, 64, 1, phi).images_per_second();
         assert!(prev > s1 * 1.2);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_emits_events() {
+        let spec = DeviceSpec::tesla_p100();
+        let chunk = paper_chunk(256);
+        let phi = spec.calib.stream_serial_fraction;
+        let plain = simulate(&spec, &chunk, 16, 4, phi);
+        let (traced, trace) = simulate_traced(&spec, &chunk, 16, 4, phi);
+        assert_eq!(plain.makespan_us, traced.makespan_us, "tracing must not perturb the schedule");
+        assert_eq!(plain.images, traced.images);
+        // 6 phase events per chunk on stream tracks + 5 engine mirrors,
+        // plus track/process metadata.
+        assert!(trace.len() > 16 * 11, "only {} events", trace.len());
+        let json = trace.to_json();
+        assert!(json.contains("\"hgemm\""));
+        assert!(json.contains("engine: H2D"));
+        assert!(json.contains("driver lock"));
     }
 
     #[test]

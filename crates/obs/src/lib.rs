@@ -29,6 +29,16 @@
 //! serves it as `GET /metrics`. The full metric catalog lives in
 //! `OBSERVABILITY.md` at the repository root.
 //!
+//! Metrics answer *what regressed*; the tracing layer answers *where the
+//! time went*: [`TraceContext`] propagates a 128-bit trace id from the
+//! REST edge through the scatter-gather into every shard leg, finished
+//! spans land in the bounded [`TraceRing`] ([`global_ring`], overflow
+//! counted in `texid_trace_events_dropped_total`), and [`ChromeTrace`]
+//! renders span trees and the discrete-event pipeline simulation as
+//! Perfetto-loadable timelines. Wall-clock and sim-clock events live in
+//! separate trace processes so the two clocks are never conflated
+//! (OBSERVABILITY.md, "Tracing").
+//!
 //! ```
 //! use texid_obs::Registry;
 //!
@@ -41,16 +51,23 @@
 
 #![deny(missing_docs)]
 
+mod chrome;
 mod histogram;
 mod metrics;
 mod prometheus;
 mod registry;
 mod span;
+mod trace;
 
+pub use chrome::ChromeTrace;
 pub use histogram::{Histogram, DEFAULT_LATENCY_BUCKETS_US};
 pub use metrics::{Counter, Gauge};
 pub use registry::{MetricKind, Registry};
 pub use span::Span;
+pub use trace::{
+    global_ring, wall_now_us, Clock, SpanRecord, TraceContext, TraceRing, TraceSpan,
+    TraceSummary, DEFAULT_TRACE_RING_CAPACITY, TRACE_HEADER,
+};
 
 use std::sync::OnceLock;
 
