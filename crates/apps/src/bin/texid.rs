@@ -7,6 +7,7 @@
 //! texid serve    --port 8080 [--containers 4]              run the REST API
 //! texid capacity                                           print the capacity planner table
 //! texid trace    [--streams 4] [--chunks 16] --out t.trace.json   export a Perfetto timeline
+//! texid bench kernels [--quick] [--check]                  CPU kernel GFLOP/s -> BENCH_kernels.json
 //! ```
 //!
 //! Feature files use the crate's protobuf-style wire format; images are
@@ -80,6 +81,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&args),
         "capacity" => cmd_capacity(),
         "trace" => cmd_trace(&args),
+        "bench" => cmd_bench(argv.get(1).map(String::as_str), &args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -101,7 +103,8 @@ const USAGE: &str = "usage:
   texid search   --refs DIR --query FILE.pgm [--top 5] [--max-ref 384] [--max-query 768]
   texid serve    [--port 0] [--containers 4]
   texid capacity
-  texid trace    [--streams 4] [--chunks 16] [--batch 64] [--out pipeline.trace.json]";
+  texid trace    [--streams 4] [--chunks 16] [--batch 64] [--out pipeline.trace.json]
+  texid bench kernels [--quick] [--check] [--out BENCH_kernels.json]";
 
 fn cmd_gen(args: &Args) -> Result<(), String> {
     let count = args.get_usize("count", 12);
@@ -282,5 +285,41 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
         trace.len(),
         out.display()
     );
+    Ok(())
+}
+
+fn cmd_bench(target: Option<&str>, args: &Args) -> Result<(), String> {
+    match target {
+        Some("kernels") => {}
+        other => {
+            return Err(format!(
+                "unknown bench target {other:?} — only 'kernels' is available\n{USAGE}"
+            ))
+        }
+    }
+    let quick = args.has("quick");
+    let out = PathBuf::from(args.get("out").unwrap_or("BENCH_kernels.json"));
+
+    println!(
+        "running kernel benchmarks ({} mode) — packed/flat/naive GEMM and fused/unfused top-2…",
+        if quick { "quick" } else { "full" }
+    );
+    let report = texid_bench::kernels::run(quick);
+    let json = report.to_json();
+    texid_bench::kernels::validate_json(&json)?;
+    std::fs::write(&out, &json).map_err(|e| format!("{}: {e}", out.display()))?;
+
+    for e in &report.entries {
+        println!(
+            "  {:<12} {:<4} m={:<4} B={:<3} {:>10.1} us {:>8.3} GFLOP/s",
+            e.kernel, e.precision, e.m, e.batch, e.wall_us, e.gflops
+        );
+    }
+    println!("wrote {} entries to {}", report.entries.len(), out.display());
+
+    if args.has("check") {
+        texid_bench::kernels::check_guard(&report, 0.9)?;
+        println!("check passed: packed >= 0.9x flat GFLOP/s at the largest shape, both precisions");
+    }
     Ok(())
 }

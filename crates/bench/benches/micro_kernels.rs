@@ -5,7 +5,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use texid_distrib::wire;
 use texid_image::TextureGenerator;
-use texid_linalg::gemm::{gemm_at_b, gemm_at_b_f16};
+use texid_linalg::gemm::{gemm_at_b, gemm_at_b_f16, gemm_at_b_f16_flat, gemm_at_b_flat, gemm_at_b_naive};
+use texid_linalg::kernel::{gemm_at_b_blocked, gemm_at_b_blocked_f16, gemm_top2, gemm_top2_f16};
 use texid_linalg::top2::{sort_columns, top2_min_per_column};
 use texid_linalg::{F16, Mat};
 use texid_sift::{extract, SiftConfig};
@@ -34,6 +35,42 @@ fn bench_gemm(c: &mut Criterion) {
             bench.iter(|| gemm_at_b_f16(-2.0, &a16, &b16))
         });
     }
+    g.finish();
+}
+
+/// Packed/blocked kernel vs the flat loop it replaced vs the naive triple
+/// loop, at the paper's pair-matching shape (m = 768, n = 768, d = 128).
+fn bench_gemm_packed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm_packed");
+    let a = feature_mat(128, 768, 11);
+    let b = feature_mat(128, 768, 12);
+    g.throughput(Throughput::Elements(2 * 768 * 768 * 128));
+    g.bench_function("packed_f32", |bench| bench.iter(|| gemm_at_b_blocked(-2.0, &a, &b)));
+    g.bench_function("flat_f32", |bench| bench.iter(|| gemm_at_b_flat(-2.0, &a, &b)));
+    g.bench_function("naive_f32", |bench| bench.iter(|| gemm_at_b_naive(-2.0, &a, &b)));
+    let a16 = a.to_f16_scaled(0.0078125);
+    let b16 = b.to_f16_scaled(0.0078125);
+    g.bench_function("packed_f16", |bench| bench.iter(|| gemm_at_b_blocked_f16(-2.0, &a16, &b16)));
+    g.bench_function("flat_f16", |bench| bench.iter(|| gemm_at_b_f16_flat(-2.0, &a16, &b16)));
+    g.finish();
+}
+
+/// Fused GEMM+top-2 epilogue vs materialize-then-scan, same shape.
+fn bench_fused_top2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fused_top2");
+    let a = feature_mat(128, 768, 13);
+    let b = feature_mat(128, 768, 14);
+    g.throughput(Throughput::Elements(2 * 768 * 768 * 128));
+    g.bench_function("fused_f32", |bench| bench.iter(|| gemm_top2(-2.0, &a, &b)));
+    g.bench_function("unfused_f32", |bench| {
+        bench.iter(|| top2_min_per_column(&gemm_at_b_blocked(-2.0, &a, &b)))
+    });
+    let a16 = a.to_f16_scaled(0.0078125);
+    let b16 = b.to_f16_scaled(0.0078125);
+    g.bench_function("fused_f16", |bench| bench.iter(|| gemm_top2_f16(-2.0, &a16, &b16)));
+    g.bench_function("unfused_f16", |bench| {
+        bench.iter(|| top2_min_per_column(&gemm_at_b_blocked_f16(-2.0, &a16, &b16)))
+    });
     g.finish();
 }
 
@@ -82,5 +119,14 @@ fn bench_wire(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_gemm, bench_top2, bench_f16, bench_sift, bench_wire);
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_gemm_packed,
+    bench_fused_top2,
+    bench_top2,
+    bench_f16,
+    bench_sift,
+    bench_wire
+);
 criterion_main!(benches);

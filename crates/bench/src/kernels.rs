@@ -1,0 +1,395 @@
+//! Kernel micro-benchmark report: packed/blocked GEMM vs the flat and naive
+//! baselines, fused vs unfused top-2, in f32 and f16, at the paper's
+//! matching shapes (m ∈ {384, 768} reference features, n = 768 query
+//! features, d = 128 descriptors, reference batches B ∈ {1, 8, 32}).
+//!
+//! Unlike the Criterion benches this emits a machine-readable JSON file
+//! (`BENCH_kernels.json`) with a stable schema, so CI can smoke-test the
+//! kernels ([`check_guard`]) and the repo can track GFLOP/s over time.
+//! Inputs are seeded and timings are median-of-N after a warmup run, so the
+//! report is as deterministic as wall-clock measurement allows.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use texid_linalg::gemm::{gemm_at_b_f16_flat, gemm_at_b_flat, gemm_at_b_naive};
+use texid_linalg::kernel::{
+    gemm_at_b_blocked, gemm_at_b_blocked_f16, gemm_top2_blocked, gemm_top2_blocked_f16,
+};
+use texid_linalg::mat::Mat;
+use texid_linalg::top2::top2_min_per_column_blocked;
+
+/// Schema tag stamped into every report; bump on any layout change.
+pub const SCHEMA: &str = "texid-kernel-bench/v1";
+
+/// Seed for the generated feature matrices.
+pub const SEED: u64 = 0x5eed_7e71;
+
+/// One timed kernel × shape measurement.
+#[derive(Clone, Debug)]
+pub struct BenchEntry {
+    /// Kernel identity: `packed`, `flat`, `naive`, `fused_top2`,
+    /// `unfused_top2`.
+    pub kernel: &'static str,
+    /// `f32` or `f16`.
+    pub precision: &'static str,
+    /// Reference features per batch block.
+    pub m: usize,
+    /// Query features.
+    pub n: usize,
+    /// Descriptor dimension.
+    pub d: usize,
+    /// Reference blocks batched into one GEMM.
+    pub batch: usize,
+    /// Median wall time, microseconds.
+    pub wall_us: f64,
+    /// `2·(B·m)·n·d` FLOPs over the median wall time.
+    pub gflops: f64,
+}
+
+/// A full benchmark run.
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    /// Input seed (fixed: [`SEED`]).
+    pub seed: u64,
+    /// Samples per measurement (median taken).
+    pub median_of: usize,
+    /// True when the reduced quick shape set was used.
+    pub quick: bool,
+    /// All measurements.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchReport {
+    /// Serialize with a stable key order (hand-rolled: the workspace
+    /// vendors no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"median_of\": {},\n", self.median_of));
+        out.push_str(&format!("  \"quick\": {},\n", self.quick));
+        out.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"kernel\": \"{}\", \"precision\": \"{}\", \"m\": {}, \"n\": {}, \
+                 \"d\": {}, \"batch\": {}, \"wall_us\": {:.2}, \"gflops\": {:.4}}}{}\n",
+                e.kernel,
+                e.precision,
+                e.m,
+                e.n,
+                e.d,
+                e.batch,
+                e.wall_us,
+                e.gflops,
+                if i + 1 < self.entries.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// The entry for `(kernel, precision)` at the largest `(batch·m)` shape
+    /// it was measured at.
+    pub fn largest(&self, kernel: &str, precision: &str) -> Option<&BenchEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.kernel == kernel && e.precision == precision)
+            .max_by_key(|e| (e.batch * e.m, e.n))
+    }
+}
+
+/// Structural validation of an emitted report: balanced JSON nesting, the
+/// exact schema tag, and the full column set on every entry.
+pub fn validate_json(json: &str) -> Result<(), String> {
+    let mut depth_obj = 0i32;
+    let mut depth_arr = 0i32;
+    let mut in_str = false;
+    let mut esc = false;
+    for ch in json.chars() {
+        if esc {
+            esc = false;
+            continue;
+        }
+        match ch {
+            '\\' if in_str => esc = true,
+            '"' => in_str = !in_str,
+            '{' if !in_str => depth_obj += 1,
+            '}' if !in_str => depth_obj -= 1,
+            '[' if !in_str => depth_arr += 1,
+            ']' if !in_str => depth_arr -= 1,
+            _ => {}
+        }
+        if depth_obj < 0 || depth_arr < 0 {
+            return Err("unbalanced JSON nesting".into());
+        }
+    }
+    if depth_obj != 0 || depth_arr != 0 || in_str {
+        return Err("unterminated JSON".into());
+    }
+    if !json.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
+        return Err(format!("missing schema tag {SCHEMA:?}"));
+    }
+    for key in ["\"seed\":", "\"median_of\":", "\"quick\":", "\"entries\":"] {
+        if !json.contains(key) {
+            return Err(format!("missing top-level key {key}"));
+        }
+    }
+    let n_entries = json.matches("\"kernel\":").count();
+    if n_entries == 0 {
+        return Err("no entries".into());
+    }
+    for key in [
+        "\"precision\":",
+        "\"m\":",
+        "\"n\":",
+        "\"d\":",
+        "\"batch\":",
+        "\"wall_us\":",
+        "\"gflops\":",
+    ] {
+        if json.matches(key).count() != n_entries {
+            return Err(format!("key {key} missing from some entry"));
+        }
+    }
+    Ok(())
+}
+
+/// Regression guard: at the largest measured shape, the packed kernel must
+/// reach at least `min_ratio ×` the flat baseline's GFLOP/s, per precision.
+pub fn check_guard(report: &BenchReport, min_ratio: f64) -> Result<(), String> {
+    for precision in ["f32", "f16"] {
+        let packed = report
+            .largest("packed", precision)
+            .ok_or_else(|| format!("no packed {precision} entry"))?;
+        // The flat baseline only runs at batch = 1; compare at its own
+        // largest shape (same m, n, d — GFLOP/s normalizes the batch away).
+        let flat = report
+            .largest("flat", precision)
+            .ok_or_else(|| format!("no flat {precision} entry"))?;
+        let ratio = packed.gflops / flat.gflops;
+        if ratio < min_ratio {
+            return Err(format!(
+                "packed {precision} at m={} B={} reaches only {ratio:.2}x of flat \
+                 ({:.2} vs {:.2} GFLOP/s, floor {min_ratio}x)",
+                packed.m, packed.batch, packed.gflops, flat.gflops
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Seeded pseudo-random feature matrix (values in `[0, 0.1)`, the scale of
+/// unit-norm RootSIFT descriptors).
+fn feature_mat(d: usize, cols: usize, seed: u64) -> Mat {
+    let mut state = seed | 1;
+    Mat::from_fn(d, cols, |_, _| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 40) & 0xffff) as f32 / 65535.0 * 0.1
+    })
+}
+
+/// Median wall time of `median_of` timed runs after one warmup run, µs.
+fn time_median_us<R>(median_of: usize, mut f: impl FnMut() -> R) -> f64 {
+    black_box(f());
+    let mut samples: Vec<f64> = (0..median_of)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(f());
+            t.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+/// Run the kernel benchmarks at the paper's matching shapes.
+///
+/// `quick` keeps only the largest pair shape at batch 1 with median-of-3
+/// timing (the CI smoke configuration); the full run sweeps
+/// m ∈ {384, 768} × B ∈ {1, 8, 32} with median-of-5.
+pub fn run(quick: bool) -> BenchReport {
+    if quick {
+        run_custom(&[768], &[1], 768, 128, 3, true)
+    } else {
+        run_custom(&[384, 768], &[1, 8, 32], 768, 128, 5, false)
+    }
+}
+
+/// [`run`] with explicit shapes — lets tests exercise the full measurement
+/// and serialization path in milliseconds.
+pub fn run_custom(
+    ms: &[usize],
+    batches: &[usize],
+    n: usize,
+    d: usize,
+    median_of: usize,
+    quick: bool,
+) -> BenchReport {
+    let mut entries = Vec::new();
+    let q = feature_mat(d, n, SEED ^ 0x9e37);
+    let q16 = q.to_f16_scaled(0.0078125);
+
+    for &m in ms {
+        for &batch in batches {
+            let r = feature_mat(d, batch * m, SEED.wrapping_add(m as u64));
+            let r16 = r.to_f16_scaled(0.0078125);
+            let flops = 2.0 * (batch * m) as f64 * n as f64 * d as f64;
+            let mut push = |kernel: &'static str, precision: &'static str, wall_us: f64| {
+                entries.push(BenchEntry {
+                    kernel,
+                    precision,
+                    m,
+                    n,
+                    d,
+                    batch,
+                    wall_us,
+                    gflops: flops / wall_us / 1e3,
+                });
+            };
+
+            // The new packed/blocked GEMM and its fused top-2 form.
+            push("packed", "f32", time_median_us(median_of, || gemm_at_b_blocked(-2.0, &r, &q)));
+            push(
+                "packed",
+                "f16",
+                time_median_us(median_of, || gemm_at_b_blocked_f16(-2.0, &r16, &q16)),
+            );
+            push(
+                "fused_top2",
+                "f32",
+                time_median_us(median_of, || gemm_top2_blocked(-2.0, &r, &q, batch, m)),
+            );
+            push(
+                "fused_top2",
+                "f16",
+                time_median_us(median_of, || gemm_top2_blocked_f16(-2.0, &r16, &q16, batch, m)),
+            );
+            push(
+                "unfused_top2",
+                "f32",
+                time_median_us(median_of, || {
+                    top2_min_per_column_blocked(&gemm_at_b_blocked(-2.0, &r, &q), batch, m)
+                }),
+            );
+            push(
+                "unfused_top2",
+                "f16",
+                time_median_us(median_of, || {
+                    top2_min_per_column_blocked(
+                        &gemm_at_b_blocked_f16(-2.0, &r16, &q16),
+                        batch,
+                        m,
+                    )
+                }),
+            );
+
+            // Baselines are slow (the f16 flat kernel re-widens per output
+            // column); only time them unbatched, where one run is cheap.
+            if batch == 1 {
+                push("flat", "f32", time_median_us(median_of, || gemm_at_b_flat(-2.0, &r, &q)));
+                push(
+                    "flat",
+                    "f16",
+                    time_median_us(median_of, || gemm_at_b_f16_flat(-2.0, &r16, &q16)),
+                );
+                push("naive", "f32", time_median_us(median_of, || gemm_at_b_naive(-2.0, &r, &q)));
+            }
+        }
+    }
+
+    BenchReport { seed: SEED, median_of, quick, entries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report() -> BenchReport {
+        BenchReport {
+            seed: SEED,
+            median_of: 1,
+            quick: true,
+            entries: vec![
+                BenchEntry {
+                    kernel: "packed",
+                    precision: "f32",
+                    m: 8,
+                    n: 8,
+                    d: 4,
+                    batch: 1,
+                    wall_us: 10.0,
+                    gflops: 1.0,
+                },
+                BenchEntry {
+                    kernel: "flat",
+                    precision: "f32",
+                    m: 8,
+                    n: 8,
+                    d: 4,
+                    batch: 1,
+                    wall_us: 10.0,
+                    gflops: 1.0,
+                },
+                BenchEntry {
+                    kernel: "packed",
+                    precision: "f16",
+                    m: 8,
+                    n: 8,
+                    d: 4,
+                    batch: 1,
+                    wall_us: 10.0,
+                    gflops: 2.0,
+                },
+                BenchEntry {
+                    kernel: "flat",
+                    precision: "f16",
+                    m: 8,
+                    n: 8,
+                    d: 4,
+                    batch: 1,
+                    wall_us: 10.0,
+                    gflops: 1.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_validates() {
+        let json = tiny_report().to_json();
+        validate_json(&json).expect("valid report");
+    }
+
+    #[test]
+    fn validation_rejects_garbage() {
+        assert!(validate_json("{").is_err());
+        assert!(validate_json("{}").is_err());
+        let truncated = tiny_report().to_json().replace("\"gflops\": 1.0000", "\"oops\": 1");
+        assert!(validate_json(&truncated).is_err());
+    }
+
+    #[test]
+    fn guard_passes_and_fails_on_ratio() {
+        let r = tiny_report();
+        assert!(check_guard(&r, 0.9).is_ok());
+        assert!(check_guard(&r, 1.5).is_err(), "f32 ratio is 1.0, floor 1.5 must fail");
+    }
+
+    #[test]
+    fn largest_picks_biggest_batch_times_m() {
+        let mut r = tiny_report();
+        r.entries.push(BenchEntry {
+            kernel: "packed",
+            precision: "f32",
+            m: 8,
+            n: 8,
+            d: 4,
+            batch: 4,
+            wall_us: 10.0,
+            gflops: 3.0,
+        });
+        assert_eq!(r.largest("packed", "f32").expect("present").batch, 4);
+    }
+}

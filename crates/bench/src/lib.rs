@@ -4,6 +4,12 @@
 //! paper and prints the paper's value next to the reproduced one, with the
 //! relative deviation, so `cargo bench` regenerates the whole evaluation
 //! section in one run. Results are summarized in `EXPERIMENTS.md`.
+//!
+//! The [`kernels`] module is different: it times the *real* CPU kernels
+//! (packed vs flat vs naive GEMM, fused vs unfused top-2) and emits a
+//! machine-readable `BENCH_kernels.json`; see `texid bench kernels`.
+
+pub mod kernels;
 
 /// Print a table header box.
 pub fn heading(title: &str) {

@@ -12,9 +12,9 @@ use crate::pair::{Algorithm, ExecMode, MatchConfig, StepTimes, D2H_BYTES_PER_QUE
 use crate::ratio::count_good_matches;
 use texid_gpu::{cost, GpuSim, Kernel, Precision, StreamId};
 use texid_linalg::gemm::{gemm_at_b_f16, neg2_at_b};
+use texid_linalg::kernel::{gemm_top2_blocked, gemm_top2_blocked_f16};
 use texid_linalg::mat::MatF16;
 use texid_linalg::top2::{top2_min_per_column_blocked, Top2};
-use texid_linalg::F16;
 
 /// Result of matching a batched reference block against one query.
 #[derive(Clone, Debug)]
@@ -117,25 +117,35 @@ pub fn match_batch(
     }
 
     // ---- numerics ----
-    let (a, s2) = match (r_cat, q) {
-        (FeatureBlock::F32(rm), FeatureBlock::F32(qm)) => (neg2_at_b(rm, qm), 1.0),
-        (FeatureBlock::F16 { mat: rm, scale: rs }, FeatureBlock::F16 { mat: qm, scale: qs }) => {
-            assert_eq!(rs, qs, "reference/query scale mismatch");
-            (gemm_at_b_f16(-2.0, rm, qm), rs * qs)
+    let (raw, s2) = if cfg.fused {
+        // Fused: the per-block scan consumes GEMM tiles as they finish; the
+        // `(B·m) × n` similarity matrix is never materialized.
+        match (r_cat, q) {
+            (FeatureBlock::F32(rm), FeatureBlock::F32(qm)) => {
+                (gemm_top2_blocked(-2.0, rm, qm, batch, m_per_ref), 1.0)
+            }
+            (FeatureBlock::F16 { mat: rm, scale: rs }, FeatureBlock::F16 { mat: qm, scale: qs }) => {
+                assert_eq!(rs, qs, "reference/query scale mismatch");
+                (gemm_top2_blocked_f16(-2.0, rm, qm, batch, m_per_ref), rs * qs)
+            }
+            _ => panic!("reference and query blocks must share a precision"),
         }
-        _ => panic!("reference and query blocks must share a precision"),
-    };
-
-    let raw = if cfg.precision == Precision::F16 {
-        // Narrow to the 16-bit HGEMM output before scanning, as on device.
-        let a16 = MatF16::from_col_major(
-            a.rows(),
-            a.cols(),
-            a.as_slice().iter().map(|&v| F16::from_f32(v)).collect(),
-        );
-        blocked_top2_f16(&a16, batch, m_per_ref)
     } else {
-        top2_min_per_column_blocked(&a, batch, m_per_ref)
+        let (a, s2) = match (r_cat, q) {
+            (FeatureBlock::F32(rm), FeatureBlock::F32(qm)) => (neg2_at_b(rm, qm), 1.0),
+            (FeatureBlock::F16 { mat: rm, scale: rs }, FeatureBlock::F16 { mat: qm, scale: qs }) => {
+                assert_eq!(rs, qs, "reference/query scale mismatch");
+                (gemm_at_b_f16(-2.0, rm, qm), rs * qs)
+            }
+            _ => panic!("reference and query blocks must share a precision"),
+        };
+        let raw = if cfg.precision == Precision::F16 {
+            // Narrow to the 16-bit HGEMM output before scanning, as on device.
+            blocked_top2_f16(&MatF16::narrowed(&a), batch, m_per_ref)
+        } else {
+            top2_min_per_column_blocked(&a, batch, m_per_ref)
+        };
+        (raw, s2)
     };
 
     let inv = 1.0 / s2;
@@ -303,6 +313,33 @@ mod tests {
         assert!((out.steps.post_us / b - 3.85).abs() / 3.85 < 0.05, "post {}", out.steps.post_us / b);
         let speed = out.images_per_second();
         assert!((speed - 45_539.0).abs() / 45_539.0 < 0.10, "speed {speed}");
+    }
+
+    #[test]
+    fn fused_and_unfused_batches_are_bit_identical() {
+        let scale = 2.0_f32.powi(-7);
+        let q = unit_features(64, 9, 321);
+        let refs: Vec<Mat> = (0..5).map(|i| unit_features(64, 11, 400 + i)).collect();
+        let mut s = sim();
+        let st = s.default_stream();
+        for precision in [Precision::F32, Precision::F16] {
+            let blocks: Vec<FeatureBlock> = refs
+                .iter()
+                .map(|m| FeatureBlock::from_mat(m.clone(), precision, scale))
+                .collect();
+            let refs_view: Vec<&FeatureBlock> = blocks.iter().collect();
+            let cat = FeatureBlock::hconcat(&refs_view);
+            let qb = FeatureBlock::from_mat(q.clone(), precision, scale);
+            let base = MatchConfig { precision, scale, ..MatchConfig::default() };
+            let fused = match_batch(
+                &MatchConfig { fused: true, ..base }, &cat, 5, 11, &qb, &mut s, st,
+            );
+            let unfused = match_batch(
+                &MatchConfig { fused: false, ..base }, &cat, 5, 11, &qb, &mut s, st,
+            );
+            assert_eq!(fused.scores, unfused.scores, "{precision:?} scores");
+            assert_eq!(fused.top2, unfused.top2, "{precision:?} top-2 must be bit-identical");
+        }
     }
 
     #[test]

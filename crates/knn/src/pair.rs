@@ -5,10 +5,10 @@ use crate::block::FeatureBlock;
 use crate::ratio::{good_matches, FeatureMatch};
 use texid_gpu::{cost, GpuSim, Kernel, Precision, StreamId};
 use texid_linalg::gemm::{gemm_at_b_f16, neg2_at_b};
+use texid_linalg::kernel::{gemm_top2, gemm_top2_ex, gemm_top2_f16, FusedEpilogue, Operand, PackedA};
 use texid_linalg::mat::{Mat, MatF16};
 use texid_linalg::norms::col_sq_norms;
 use texid_linalg::top2::{sort_columns, top2_min_per_column, top2_min_per_column_f16, Top2};
-use texid_linalg::F16;
 
 /// Which matching implementation to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -52,6 +52,11 @@ pub struct MatchConfig {
     pub ratio_threshold: f32,
     /// Numerics on or off.
     pub exec: ExecMode,
+    /// Run the top-2 scan inside the GEMM epilogue (never materializing the
+    /// `m × n` similarity matrix). Bit-identical results to the unfused
+    /// pipeline; applies to the top-2 algorithms only — the full-sort
+    /// baseline always materializes.
+    pub fused: bool,
 }
 
 impl Default for MatchConfig {
@@ -63,6 +68,7 @@ impl Default for MatchConfig {
             tensor_core: false,
             ratio_threshold: 0.75,
             exec: ExecMode::Full,
+            fused: true,
         }
     }
 }
@@ -127,15 +133,6 @@ fn dequantized(block: &FeatureBlock) -> Mat {
         FeatureBlock::F32(m) => m.clone(),
         FeatureBlock::F16 { mat, scale } => mat.to_f32_unscaled(*scale),
     }
-}
-
-/// Narrow an f32 similarity matrix to f16 (the HGEMM 16-bit output path).
-fn narrow(a: &Mat) -> MatF16 {
-    MatF16::from_col_major(
-        a.rows(),
-        a.cols(),
-        a.as_slice().iter().map(|&v| F16::from_f32(v)).collect(),
-    )
 }
 
 /// The similarity GEMM in the configured precision. Returns the matrix in
@@ -271,30 +268,66 @@ pub(crate) fn run_functional(cfg: &MatchConfig, r: &FeatureBlock, q: &FeatureBlo
         }
         Algorithm::CublasFullSort | Algorithm::CublasTop2 => {
             // Algorithm 1: ρ² = N_R + N_Q − 2·RᵀQ.
-            let (mut a, s2) = similarity_gemm(cfg, r, q);
             let rm = dequantized(r);
             let qm = dequantized(q);
             let n_r = col_sq_norms(&rm);
             let n_q = col_sq_norms(&qm);
-            if s2 != 1.0 {
-                let inv = 1.0 / s2;
-                for v in a.as_mut_slice() {
-                    *v *= inv;
-                }
-            }
-            texid_linalg::norms::add_row_norms(&mut a, &n_r);
 
-            let raw = if cfg.algorithm == Algorithm::CublasFullSort {
-                let (sorted, idx) = sort_columns(&a);
-                (0..a.cols())
-                    .map(|j| Top2 { idx: idx[j], d1: sorted.get(0, j), d2: sorted.get(1, j) })
-                    .collect::<Vec<_>>()
-            } else if cfg.precision == Precision::F16 {
-                // The scan reads the 16-bit HGEMM output, paying the
-                // widening intrinsic — and its quantization.
-                top2_min_per_column_f16(&narrow(&a))
+            let raw = if cfg.fused && cfg.algorithm == Algorithm::CublasTop2 {
+                // Fused path: the unscale, N_R add, and (FP16) output
+                // quantization all run in the GEMM epilogue; the m × n
+                // similarity matrix never exists.
+                match (r, q) {
+                    (FeatureBlock::F32(rm), FeatureBlock::F32(qm)) => gemm_top2_ex(
+                        -2.0,
+                        &PackedA::from_f32(rm),
+                        Operand::F32(qm),
+                        &FusedEpilogue { row_bias: Some(&n_r), ..FusedEpilogue::default() },
+                        1,
+                        rm.cols(),
+                    ),
+                    (
+                        FeatureBlock::F16 { mat: rm, scale: rs },
+                        FeatureBlock::F16 { mat: qm, scale: qs },
+                    ) => {
+                        assert_eq!(rs, qs, "reference/query scale mismatch");
+                        gemm_top2_ex(
+                            -2.0,
+                            &PackedA::from_f16(rm),
+                            Operand::F16(qm),
+                            &FusedEpilogue {
+                                scale: 1.0 / (rs * qs),
+                                row_bias: Some(&n_r),
+                                quantize_f16: true,
+                            },
+                            1,
+                            rm.cols(),
+                        )
+                    }
+                    _ => panic!("reference and query blocks must share a precision"),
+                }
             } else {
-                top2_min_per_column(&a)
+                let (mut a, s2) = similarity_gemm(cfg, r, q);
+                if s2 != 1.0 {
+                    let inv = 1.0 / s2;
+                    for v in a.as_mut_slice() {
+                        *v *= inv;
+                    }
+                }
+                texid_linalg::norms::add_row_norms(&mut a, &n_r);
+
+                if cfg.algorithm == Algorithm::CublasFullSort {
+                    let (sorted, idx) = sort_columns(&a);
+                    (0..a.cols())
+                        .map(|j| Top2 { idx: idx[j], d1: sorted.get(0, j), d2: sorted.get(1, j) })
+                        .collect::<Vec<_>>()
+                } else if cfg.precision == Precision::F16 {
+                    // The scan reads the 16-bit HGEMM output, paying the
+                    // widening intrinsic — and its quantization.
+                    top2_min_per_column_f16(&MatF16::narrowed(&a))
+                } else {
+                    top2_min_per_column(&a)
+                }
             };
             raw.iter()
                 .zip(&n_q)
@@ -307,13 +340,30 @@ pub(crate) fn run_functional(cfg: &MatchConfig, r: &FeatureBlock, q: &FeatureBlo
         }
         Algorithm::RootSiftTop2 => {
             // Algorithm 2: ρ = √(2 − 2·rᵀq) for unit-norm RootSIFT columns.
-            let (a, s2) = similarity_gemm(cfg, r, q);
-            let inv = 1.0 / s2;
-            let raw = if cfg.precision == Precision::F16 {
-                top2_min_per_column_f16(&narrow(&a))
+            let (raw, s2) = if cfg.fused {
+                match (r, q) {
+                    (FeatureBlock::F32(rm), FeatureBlock::F32(qm)) => {
+                        (gemm_top2(-2.0, rm, qm), 1.0)
+                    }
+                    (
+                        FeatureBlock::F16 { mat: rm, scale: rs },
+                        FeatureBlock::F16 { mat: qm, scale: qs },
+                    ) => {
+                        assert_eq!(rs, qs, "reference/query scale mismatch");
+                        (gemm_top2_f16(-2.0, rm, qm), rs * qs)
+                    }
+                    _ => panic!("reference and query blocks must share a precision"),
+                }
             } else {
-                top2_min_per_column(&a)
+                let (a, s2) = similarity_gemm(cfg, r, q);
+                let raw = if cfg.precision == Precision::F16 {
+                    top2_min_per_column_f16(&MatF16::narrowed(&a))
+                } else {
+                    top2_min_per_column(&a)
+                };
+                (raw, s2)
             };
+            let inv = 1.0 / s2;
             raw.iter()
                 .map(|t| Top2 {
                     idx: t.idx,
@@ -478,9 +528,40 @@ mod tests {
         let out = match_pair(&cfg(Algorithm::RootSiftTop2, Precision::F32), &r, &q, &mut s, st);
         for (j, t) in out.top2.iter().enumerate() {
             assert_eq!(t.idx as usize, j, "self-match must find itself");
-            assert!(t.d1 < 1e-3);
+            // √(2 − 2·rᵀr) amplifies dot-product rounding: |2 − 2·dot| is
+            // ~d·ε for unit columns at d = 128, so d1 lands near √(1e-5).
+            assert!(t.d1 < 1e-2, "col {j}: d1 {}", t.d1);
         }
         assert!(out.score() > 25, "score {}", out.score());
+    }
+
+    #[test]
+    fn fused_and_unfused_produce_identical_matches() {
+        // The fused epilogue applies the same f32 ops in the same order as
+        // the materialized pipeline, so results must be bit-identical —
+        // same indices, same distances, same surviving match set.
+        let scale = 2.0_f32.powi(-7);
+        let rm = unit_features(128, 37, 71);
+        let qm = unit_features(128, 29, 72);
+        let mut s = sim();
+        let st = s.default_stream();
+        for alg in [Algorithm::CublasTop2, Algorithm::RootSiftTop2] {
+            for precision in [Precision::F32, Precision::F16] {
+                let base = MatchConfig { scale, ..cfg(alg, precision) };
+                let r = FeatureBlock::from_mat(rm.clone(), precision, scale);
+                let q = FeatureBlock::from_mat(qm.clone(), precision, scale);
+                let fused =
+                    match_pair(&MatchConfig { fused: true, ..base }, &r, &q, &mut s, st);
+                let unfused =
+                    match_pair(&MatchConfig { fused: false, ..base }, &r, &q, &mut s, st);
+                for (a, b) in fused.top2.iter().zip(&unfused.top2) {
+                    assert_eq!(a.idx, b.idx, "{alg:?}/{precision:?} index");
+                    assert_eq!(a.d1, b.d1, "{alg:?}/{precision:?} d1 must be bit-identical");
+                    assert_eq!(a.d2, b.d2, "{alg:?}/{precision:?} d2 must be bit-identical");
+                }
+                assert_eq!(fused.matches, unfused.matches, "{alg:?}/{precision:?} match set");
+            }
+        }
     }
 
     #[test]

@@ -12,14 +12,16 @@
 //! be measured (`benches/ablation_cbir_baseline.rs`) instead of assumed.
 
 use crate::ratio::good_matches;
-use texid_linalg::gemm::neg2_at_b;
-use texid_linalg::top2::top2_min_per_column;
+use texid_linalg::kernel::{gemm_top2_ex, FusedEpilogue, Operand, PackedA};
 use texid_linalg::Mat;
 
 /// A pooled (CBIR-style) feature database.
 pub struct PooledIndex {
     /// `d × Σmᵢ` matrix of all reference features side by side.
     features: Mat,
+    /// The same features pre-packed into the blocked-GEMM panel layout —
+    /// built once so every query skips the packing pass.
+    packed: PackedA,
     /// `owner[j]` = image id owning pooled column `j`.
     owner: Vec<u64>,
     /// Number of distinct images.
@@ -39,7 +41,22 @@ impl PooledIndex {
         for (id, m) in refs {
             owner.extend(std::iter::repeat_n(*id, m.cols()));
         }
-        PooledIndex { features, owner, images: refs.len() }
+        let packed = PackedA::from_f32(&features);
+        PooledIndex { features, packed, owner, images: refs.len() }
+    }
+
+    /// Fused global 2-NN: `top2(−2·RᵀQ)` straight from the pre-packed
+    /// reference panels, never materializing the `Σmᵢ × n` distance matrix
+    /// (which at CBIR scale dwarfs the operands).
+    fn global_top2(&self, query: &Mat) -> Vec<texid_linalg::Top2> {
+        gemm_top2_ex(
+            -2.0,
+            &self.packed,
+            Operand::F32(query),
+            &FusedEpilogue::default(),
+            1,
+            self.packed.cols(),
+        )
     }
 
     /// Total pooled features.
@@ -60,8 +77,7 @@ impl PooledIndex {
         assert_eq!(query.rows(), self.features.rows(), "descriptor dim mismatch");
         // Same algebra as Algorithm 2, but over the pooled matrix: a single
         // global 2-NN instead of M per-image ones.
-        let a = neg2_at_b(&self.features, query);
-        let top2 = top2_min_per_column(&a);
+        let top2 = self.global_top2(query);
         let scored: Vec<_> = top2
             .iter()
             .map(|t| texid_linalg::Top2 {
@@ -83,8 +99,8 @@ impl PooledIndex {
     /// Like [`Self::search`] but without the ratio test (pure 1-NN voting,
     /// the other common CBIR scoring).
     pub fn search_votes_only(&self, query: &Mat) -> Vec<(u64, usize)> {
-        let a = neg2_at_b(&self.features, query);
-        let top2 = top2_min_per_column(&a);
+        assert_eq!(query.rows(), self.features.rows(), "descriptor dim mismatch");
+        let top2 = self.global_top2(query);
         let mut votes: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
         for t in &top2 {
             *votes.entry(self.owner[t.idx as usize]).or_default() += 1;
@@ -103,6 +119,8 @@ impl PooledIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use texid_linalg::gemm::neg2_at_b;
+    use texid_linalg::top2::top2_min_per_column;
 
     fn unit_features(d: usize, cols: usize, seed: u64) -> Mat {
         let mut state = seed | 1;

@@ -115,6 +115,38 @@ proptest! {
     }
 
     #[test]
+    fn fused_and_unfused_agree_bitwise(
+        d in 4usize..40,
+        m in 2usize..20,
+        n in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        // The fused epilogue replays the materialized pipeline's f32 ops in
+        // the same order, so every algorithm/precision pair must produce
+        // bit-identical top-2 results with fusion on and off.
+        let r = unit_features(d, m, seed);
+        let q = unit_features(d, n, seed.wrapping_add(31));
+        let scale = 2.0_f32.powi(-7) * 512.0;
+        let mut sim = GpuSim::new(DeviceSpec::tesla_p100());
+        let st = sim.default_stream();
+        for alg in [Algorithm::CublasTop2, Algorithm::RootSiftTop2] {
+            for precision in [Precision::F32, Precision::F16] {
+                let cfg = MatchConfig { algorithm: alg, precision, scale, ..MatchConfig::default() };
+                let rb = FeatureBlock::from_mat(r.clone(), precision, scale);
+                let qb = FeatureBlock::from_mat(q.clone(), precision, scale);
+                let fused = match_pair(&MatchConfig { fused: true, ..cfg }, &rb, &qb, &mut sim, st);
+                let unfused = match_pair(&MatchConfig { fused: false, ..cfg }, &rb, &qb, &mut sim, st);
+                for (j, (a, b)) in fused.top2.iter().zip(&unfused.top2).enumerate() {
+                    prop_assert_eq!(a.idx, b.idx, "{:?}/{:?} col {}", alg, precision, j);
+                    prop_assert_eq!(a.d1, b.d1, "{:?}/{:?} col {}", alg, precision, j);
+                    prop_assert_eq!(a.d2, b.d2, "{:?}/{:?} col {}", alg, precision, j);
+                }
+                prop_assert_eq!(fused.matches.len(), unfused.matches.len());
+            }
+        }
+    }
+
+    #[test]
     fn fp16_preserves_nearest_for_well_separated_features(
         d in 16usize..64,
         m in 2usize..16,

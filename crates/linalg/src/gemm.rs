@@ -1,13 +1,33 @@
 //! `AᵀB` general matrix multiplication — the functional core of the paper's
 //! cuBLAS reformulation of the similarity matrix (`A = −2·RᵀQ`, Eq. 1).
 //!
-//! Both operands are column-major `d × *` feature matrices, so `AᵀB` is a grid
-//! of dot products between contiguous columns. Parallelism is over output
-//! columns (rayon), with an inner blocking over reference columns for cache
-//! locality; the dot-product kernel uses four independent accumulators to let
-//! the compiler vectorize.
+//! Both operands are column-major `d × *` feature matrices, so `AᵀB` is a
+//! grid of dot products between contiguous columns. Since this PR the
+//! public entry points ([`gemm_at_b`], [`gemm_at_b_f16`]) are thin wrappers
+//! over the **packed, cache-blocked, register-tiled** kernel in
+//! [`crate::kernel`]: operands are packed (and, for FP16, widened exactly
+//! once) into `MR`/`NR`-wide k-major panels, output columns are processed
+//! in rayon-parallel `NC` chunks, and a 4×4 register tile with 16
+//! independent accumulators walks the full depth per tile. See the
+//! [`crate::kernel`] module docs for the layout details.
+//!
+//! The pre-packing kernels are retained as [`gemm_at_b_flat`] and
+//! [`gemm_at_b_f16_flat`] so benchmarks (`texid bench kernels`,
+//! `BENCH_kernels.json`) can track the win; new code should not call them.
+//!
+//! ## Summation order and test tolerances
+//!
+//! The blocked kernel sums each dot product in ascending-`k` order with a
+//! single accumulator per output, matching [`gemm_at_b_naive`]
+//! bit-for-bit (Rust never contracts `a * b + c` into an FMA). The *flat*
+//! kernels instead split each dot four ways (`s0..s3` partial sums), so
+//! flat-vs-blocked and flat-vs-naive comparisons see genuine rounding
+//! differences of order `d · ulp` — tests comparing across kernels must
+//! budget an absolute tolerance (≈1e-4 for unit-norm descriptors at
+//! `d = 128`) rather than expect equality.
 
 use crate::f16::F16;
+use crate::kernel::{gemm_at_b_blocked, gemm_at_b_blocked_f16};
 use crate::mat::{Mat, MatF16};
 use rayon::prelude::*;
 
@@ -32,11 +52,23 @@ fn dot(a: &[f32], b: &[f32]) -> f32 {
 }
 
 /// Compute `C = alpha · AᵀB`, where `A` is `d × m`, `B` is `d × n`, and the
-/// result is `m × n` (column-major).
+/// result is `m × n` (column-major). Routes through the packed blocked
+/// kernel ([`crate::kernel::gemm_at_b_blocked`]).
 ///
 /// # Panics
 /// Panics if the inner dimensions (`rows`) differ.
 pub fn gemm_at_b(alpha: f32, a: &Mat, b: &Mat) -> Mat {
+    gemm_at_b_blocked(alpha, a, b)
+}
+
+/// The pre-packing f32 kernel (one flat column-by-column dot loop,
+/// parallel over output columns), retained **only** as a benchmark
+/// baseline for `texid bench kernels`. New code should call
+/// [`gemm_at_b`].
+///
+/// # Panics
+/// Panics if the inner dimensions (`rows`) differ.
+pub fn gemm_at_b_flat(alpha: f32, a: &Mat, b: &Mat) -> Mat {
     assert_eq!(a.rows(), b.rows(), "AᵀB requires equal row counts (d)");
     let m = a.cols();
     let n = b.cols();
@@ -71,9 +103,24 @@ pub fn neg2_at_b(r: &Mat, q: &Mat) -> Mat {
 /// tensor cores (f16 operands, f32 accumulate). Output stays in f32, matching
 /// the cuBLAS `CUBLAS_COMPUTE_32F` path the paper relies on for accuracy.
 ///
+/// Routes through the packed blocked kernel, which widens each operand
+/// element **once** during packing — `O((m + n)·d)` conversions, not the
+/// `O(m·n·d)` the flat kernel pays.
+///
 /// # Panics
 /// Panics if the inner dimensions differ.
 pub fn gemm_at_b_f16(alpha: f32, a: &MatF16, b: &MatF16) -> Mat {
+    gemm_at_b_blocked_f16(alpha, a, b)
+}
+
+/// The pre-packing f16 kernel, retained **only** as a benchmark baseline:
+/// it re-widens every reference column once per *output* column —
+/// `O(m·n·d)` f16→f32 conversions, the single largest CPU cost of the old
+/// FP16 path. New code should call [`gemm_at_b_f16`].
+///
+/// # Panics
+/// Panics if the inner dimensions differ.
+pub fn gemm_at_b_f16_flat(alpha: f32, a: &MatF16, b: &MatF16) -> Mat {
     assert_eq!(a.rows(), b.rows(), "AᵀB requires equal row counts (d)");
     let m = a.cols();
     let n = b.cols();
@@ -251,6 +298,32 @@ mod tests {
         let c = gemm_at_b(1.0, &a, &b);
         assert_eq!(c.rows(), 0);
         assert_eq!(c.cols(), 3);
+    }
+
+    #[test]
+    fn wrappers_route_through_blocked_kernel() {
+        let a = mat_seq(7, 6, 0.2);
+        let b = mat_seq(7, 5, -0.4);
+        assert_eq!(gemm_at_b(-2.0, &a, &b), crate::kernel::gemm_at_b_blocked(-2.0, &a, &b));
+        let (a16, b16) = (a.to_f16_scaled(0.5), b.to_f16_scaled(0.5));
+        assert_eq!(
+            gemm_at_b_f16(-2.0, &a16, &b16),
+            crate::kernel::gemm_at_b_blocked_f16(-2.0, &a16, &b16)
+        );
+    }
+
+    #[test]
+    fn flat_baselines_agree_with_blocked_within_tolerance() {
+        // Different summation orders (four-way split vs ascending-k): equal
+        // only up to rounding — see the module docs.
+        let a = Mat::from_fn(128, 24, |r, c| ((r * 24 + c) % 251) as f32 * 1e-3);
+        let b = Mat::from_fn(128, 16, |r, c| ((r * 16 + c) % 199) as f32 * 1e-3);
+        assert!(gemm_at_b_flat(-2.0, &a, &b).max_abs_diff(&gemm_at_b(-2.0, &a, &b)) < 1e-3);
+        let (a16, b16) = (a.to_f16_scaled(0.0078125), b.to_f16_scaled(0.0078125));
+        assert!(
+            gemm_at_b_f16_flat(-2.0, &a16, &b16).max_abs_diff(&gemm_at_b_f16(-2.0, &a16, &b16))
+                < 1e-3
+        );
     }
 
     #[test]

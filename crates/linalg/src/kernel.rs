@@ -1,0 +1,624 @@
+//! Packed, cache-blocked, register-tiled `AᵀB` microkernel — with an
+//! optional **fused top-2 epilogue** so the `m × n` similarity matrix never
+//! has to exist in memory.
+//!
+//! This is the CPU analogue of two GPU techniques the system leans on:
+//! the paper's register-resident top-2 scan (§4.1, Algorithm 2) and Faiss's
+//! fused k-selection, which folds the selection into the distance-matrix
+//! tiles so only `O(n)` selection state survives a tile (Johnson, Douze &
+//! Jégou, billion-scale similarity search).
+//!
+//! # Scheme
+//!
+//! Both operands are column-major `d × *` feature matrices and the product
+//! is `C = alpha · AᵀB` (`m × n`), i.e. a GEMM with `M = m`, `N = n`,
+//! `K = d`, where every descriptor is already K-contiguous.
+//!
+//! 1. **Packing.** A (the reference operand) is packed once per GEMM into
+//!    panels of [`MR`] columns, interleaved k-major: panel `p` stores
+//!    `a[p][k·MR + r] = A[k, p·MR + r]`, zero-padded past `m`. FP16
+//!    operands are **widened during packing**, so each element is converted
+//!    exactly once — `O(m·d)` conversions instead of the `O(m·n·d)` a
+//!    per-output-column widening costs. B is packed the same way (panels of
+//!    [`NR`] columns, widened once) per N-chunk.
+//! 2. **Blocking.** Output columns are processed in chunks of `NC` (one
+//!    rayon task each — the packed B chunk, ≤ `NC·d` floats, stays
+//!    L2-resident). Within a chunk, A panels are walked in blocks of
+//!    `MC_PANELS` so the active `MC·d` slice of packed A stays cache-hot
+//!    while the chunk's B panels are swept.
+//! 3. **Register tile.** The microkernel computes an `MR × NR` output tile
+//!    with `MR·NR = 16` independent accumulators, walking the full depth
+//!    `K` in one pass (`d ≤ 128` for every paper shape, so the tile's
+//!    accumulators never spill to a C buffer). Each packed A load is reused
+//!    `NR` times and each B load `MR` times.
+//! 4. **Epilogue.** Either the tile is written to C ([`gemm_packed`]), or —
+//!    the fused path ([`gemm_top2_ex`]) — each tile value is transformed
+//!    (`alpha`, optional scale, optional per-row bias, optional f16
+//!    round-trip) and folded straight into per-column [`Top2`] running
+//!    minima. The fused path allocates only the packed operands
+//!    (`O((m + n)·d)`) and the `O(batch·n)` result; no `m × n` buffer.
+//!
+//! # Summation order
+//!
+//! Each accumulator sums its dot product in ascending-`k` order with no
+//! intra-dot splitting, which is the same order
+//! [`crate::gemm::gemm_at_b_naive`] uses — f32 results are bit-identical to
+//! the naive reference on targets without implicit FMA contraction (Rust
+//! never emits contraction for `a * b + c`). The retained pre-packing
+//! kernels (`gemm_at_b_flat`) split each dot four ways and therefore round
+//! differently; tests comparing the two must use a tolerance (see
+//! `crate::gemm`).
+
+use crate::f16::F16;
+use crate::mat::{Mat, MatF16};
+use crate::top2::Top2;
+use rayon::prelude::*;
+
+/// Reference (A) columns per register tile — rows of the output tile.
+pub const MR: usize = 4;
+/// Query (B) columns per register tile — columns of the output tile.
+pub const NR: usize = 4;
+/// A panels per cache block (`MC = MC_PANELS · MR = 128` reference columns,
+/// a `128 × 128` f32 slice ≈ 64 KiB of packed A kept hot per block).
+const MC_PANELS: usize = 32;
+/// Output columns per parallel task (packed B chunk ≤ `NC·d` floats).
+const NC: usize = 64;
+
+/// Elements the packer can widen to f32.
+trait Widen: Copy {
+    fn widen(self) -> f32;
+}
+
+impl Widen for f32 {
+    #[inline(always)]
+    fn widen(self) -> f32 {
+        self
+    }
+}
+
+impl Widen for F16 {
+    #[inline(always)]
+    fn widen(self) -> f32 {
+        self.to_f32()
+    }
+}
+
+/// A pre-packed, pre-widened reference operand.
+///
+/// Pack once, multiply many times: the packing (and, for FP16, the
+/// widening) cost is paid a single time per reference matrix regardless of
+/// how many GEMMs or fused scans consume it.
+pub struct PackedA {
+    m: usize,
+    d: usize,
+    /// `ceil(m / MR)` panels of `d · MR` floats, k-major within a panel.
+    data: Vec<f32>,
+}
+
+impl PackedA {
+    /// Pack an f32 reference matrix.
+    pub fn from_f32(a: &Mat) -> PackedA {
+        Self::pack(a.as_slice(), a.rows(), a.cols())
+    }
+
+    /// Pack a half-precision reference matrix, widening each element once.
+    pub fn from_f16(a: &MatF16) -> PackedA {
+        Self::pack(a.as_slice(), a.rows(), a.cols())
+    }
+
+    fn pack<T: Widen>(cols: &[T], d: usize, m: usize) -> PackedA {
+        let panels = m.div_ceil(MR);
+        let mut data = vec![0.0f32; panels * d * MR];
+        for (p, panel) in data.chunks_exact_mut((d * MR).max(1)).enumerate() {
+            let width = MR.min(m - p * MR);
+            for r in 0..width {
+                let col = &cols[(p * MR + r) * d..(p * MR + r + 1) * d];
+                for (k, &v) in col.iter().enumerate() {
+                    panel[k * MR + r] = v.widen();
+                }
+            }
+        }
+        PackedA { m, d, data }
+    }
+
+    /// Number of reference columns (`m`, rows of the product).
+    pub fn cols(&self) -> usize {
+        self.m
+    }
+
+    /// Descriptor dimensionality (`d`, the contraction depth).
+    pub fn depth(&self) -> usize {
+        self.d
+    }
+
+    fn panel_count(&self) -> usize {
+        self.m.div_ceil(MR)
+    }
+
+    #[inline]
+    fn panel(&self, p: usize) -> &[f32] {
+        &self.data[p * self.d * MR..(p + 1) * self.d * MR]
+    }
+}
+
+/// A borrowed query operand in either storage precision. FP16 queries are
+/// widened once while their N-chunk is packed.
+#[derive(Clone, Copy)]
+pub enum Operand<'a> {
+    /// Full-precision operand.
+    F32(&'a Mat),
+    /// Half-precision operand (widened during packing).
+    F16(&'a MatF16),
+}
+
+impl Operand<'_> {
+    /// Descriptor dimensionality.
+    pub fn rows(&self) -> usize {
+        match self {
+            Operand::F32(m) => m.rows(),
+            Operand::F16(m) => m.rows(),
+        }
+    }
+
+    /// Number of query columns.
+    pub fn cols(&self) -> usize {
+        match self {
+            Operand::F32(m) => m.cols(),
+            Operand::F16(m) => m.cols(),
+        }
+    }
+
+    /// Pack columns `j0 .. j0 + w` into NR-wide, k-major panels.
+    fn pack_chunk(&self, j0: usize, w: usize) -> Vec<f32> {
+        match self {
+            Operand::F32(m) => pack_b(m.as_slice(), m.rows(), j0, w),
+            Operand::F16(m) => pack_b(m.as_slice(), m.rows(), j0, w),
+        }
+    }
+}
+
+fn pack_b<T: Widen>(cols: &[T], d: usize, j0: usize, w: usize) -> Vec<f32> {
+    let panels = w.div_ceil(NR);
+    let mut data = vec![0.0f32; panels * d * NR];
+    for (p, panel) in data.chunks_exact_mut((d * NR).max(1)).enumerate() {
+        let width = NR.min(w - p * NR);
+        for c in 0..width {
+            let col = &cols[(j0 + p * NR + c) * d..(j0 + p * NR + c + 1) * d];
+            for (k, &v) in col.iter().enumerate() {
+                panel[k * NR + c] = v.widen();
+            }
+        }
+    }
+    data
+}
+
+/// The `MR × NR` register tile: 16 independent accumulators over the full
+/// depth. `acc[c · MR + r]` is the (r, c) output (column-major tile).
+#[inline(always)]
+fn microkernel(d: usize, ap: &[f32], bp: &[f32]) -> [f32; MR * NR] {
+    let mut acc = [0.0f32; MR * NR];
+    for (av, bv) in ap[..d * MR].chunks_exact(MR).zip(bp[..d * NR].chunks_exact(NR)) {
+        for (&b, acc_col) in bv.iter().zip(acc.chunks_exact_mut(MR)) {
+            for (&a, slot) in av.iter().zip(acc_col.iter_mut()) {
+                *slot += a * b;
+            }
+        }
+    }
+    acc
+}
+
+/// `C = alpha · AᵀB` from a pre-packed A. Parallelized over `NC`-column
+/// chunks of the output.
+///
+/// # Panics
+/// Panics if the contraction depths differ.
+pub fn gemm_packed(alpha: f32, a: &PackedA, b: Operand<'_>) -> Mat {
+    assert_eq!(a.depth(), b.rows(), "AᵀB requires equal row counts (d)");
+    let m = a.cols();
+    let n = b.cols();
+    let d = a.depth();
+    let mut c = Mat::zeros(m, n);
+    if m == 0 || n == 0 {
+        return c;
+    }
+    c.as_mut_slice()
+        .par_chunks_mut(m * NC)
+        .enumerate()
+        .for_each(|(ci, chunk)| {
+            let j0 = ci * NC;
+            let w = chunk.len() / m;
+            let bp = b.pack_chunk(j0, w);
+            for_each_tile(a, &bp, w, d, |p, jr, acc| {
+                let rows = MR.min(m - p * MR);
+                let cols = NR.min(w - jr * NR);
+                for cc in 0..cols {
+                    let dst = &mut chunk[(jr * NR + cc) * m + p * MR..][..rows];
+                    for (r, slot) in dst.iter_mut().enumerate() {
+                        *slot = alpha * acc[cc * MR + r];
+                    }
+                }
+            });
+        });
+    c
+}
+
+/// Walk every (A-panel, B-panel) register tile of one N-chunk in the blocked
+/// order (`MC_PANELS` A panels per block, B panels swept inside each block),
+/// handing each finished tile to `emit(panel, jr, acc)`.
+///
+/// For any fixed output column, tiles arrive in ascending-row order — the
+/// property the fused top-2 epilogue relies on for first-index tie-breaking.
+#[inline]
+fn for_each_tile(
+    a: &PackedA,
+    bp: &[f32],
+    w: usize,
+    d: usize,
+    mut emit: impl FnMut(usize, usize, &[f32; MR * NR]),
+) {
+    let b_panels = w.div_ceil(NR);
+    let mut ic0 = 0;
+    while ic0 < a.panel_count() {
+        let ic_end = (ic0 + MC_PANELS).min(a.panel_count());
+        for jr in 0..b_panels {
+            let bpanel = &bp[jr * d * NR..(jr + 1) * d * NR];
+            for p in ic0..ic_end {
+                let acc = microkernel(d, a.panel(p), bpanel);
+                emit(p, jr, &acc);
+            }
+        }
+        ic0 = ic_end;
+    }
+}
+
+/// Per-element transform applied between the GEMM tile and the top-2
+/// running minima — the fused analogue of the materialized pipeline
+/// `C·scale → C + bias (rows) → narrow to f16 → scan`.
+///
+/// Each step is applied in exactly that order with exactly one f32
+/// operation, so the fused path is bit-identical to the unfused one.
+#[derive(Clone, Copy, Debug)]
+pub struct FusedEpilogue<'a> {
+    /// Multiplied in after `alpha` (use `1/scale²` to undo an FP16 operand
+    /// scale; `1.0` is exact and changes nothing).
+    pub scale: f32,
+    /// Optional per-row additive bias of length `m` (the `N_R` vector of
+    /// Algorithm 1, step 4).
+    pub row_bias: Option<&'a [f32]>,
+    /// Round-trip each value through f16 before comparing, reproducing the
+    /// quantization of a 16-bit HGEMM output feeding the device scan.
+    pub quantize_f16: bool,
+}
+
+impl Default for FusedEpilogue<'_> {
+    fn default() -> Self {
+        FusedEpilogue { scale: 1.0, row_bias: None, quantize_f16: false }
+    }
+}
+
+/// Fused GEMM + per-block top-2: `top2[blk · n + j]` holds the two smallest
+/// values of `alpha · AᵀB` (after the epilogue) within reference block
+/// `blk` of column `j` — without ever materializing the `m × n` product.
+///
+/// `batch` reference blocks of `m_per_ref` columns each are scanned
+/// separately (the batched-reference layout of §5.2); pass `batch = 1`,
+/// `m_per_ref = a.cols()` for a plain per-column top-2.
+///
+/// Only the packed operands (`O((m + n)·d)` floats) and the `O(batch · n)`
+/// output are allocated.
+///
+/// # Panics
+/// Panics if depths differ, `a.cols() != batch · m_per_ref`,
+/// `m_per_ref < 2`, or a provided `row_bias` is not length `a.cols()`.
+pub fn gemm_top2_ex(
+    alpha: f32,
+    a: &PackedA,
+    b: Operand<'_>,
+    epi: &FusedEpilogue<'_>,
+    batch: usize,
+    m_per_ref: usize,
+) -> Vec<Top2> {
+    assert_eq!(a.depth(), b.rows(), "AᵀB requires equal row counts (d)");
+    assert!(m_per_ref >= 2, "top-2 needs at least two reference features");
+    assert_eq!(a.cols(), batch * m_per_ref, "blocked top-2 shape mismatch");
+    if let Some(bias) = epi.row_bias {
+        assert_eq!(bias.len(), a.cols(), "row bias length must equal m");
+    }
+    let m = a.cols();
+    let n = b.cols();
+    let d = a.depth();
+    if n == 0 {
+        return Vec::new();
+    }
+
+    // One task per N-chunk; each task owns the Top2 state of its own
+    // columns only, so there is no cross-task write sharing.
+    let per_chunk: Vec<Vec<Top2>> = (0..n.div_ceil(NC))
+        .into_par_iter()
+        .map(|ci| {
+            let j0 = ci * NC;
+            let w = NC.min(n - j0);
+            let bp = b.pack_chunk(j0, w);
+            // `state[local_j · batch + blk]`: the only per-column memory the
+            // fused path keeps — the paper's two "registers" plus an index.
+            let mut state = vec![Top2::EMPTY; w * batch];
+            for_each_tile(a, &bp, w, d, |p, jr, acc| {
+                let rows = MR.min(m - p * MR);
+                let cols = NR.min(w - jr * NR);
+                for cc in 0..cols {
+                    let col_states =
+                        &mut state[(jr * NR + cc) * batch..(jr * NR + cc + 1) * batch];
+                    for (r, &raw) in acc[cc * MR..cc * MR + rows].iter().enumerate() {
+                        let row = p * MR + r;
+                        let mut v = alpha * raw;
+                        v *= epi.scale;
+                        if let Some(bias) = epi.row_bias {
+                            v += bias[row];
+                        }
+                        if epi.quantize_f16 {
+                            v = F16::from_f32(v).to_f32();
+                        }
+                        col_states[row / m_per_ref].observe((row % m_per_ref) as u32, v);
+                    }
+                }
+            });
+            state
+        })
+        .collect();
+
+    // Re-shuffle the per-chunk `[local_j][blk]` states into the blocked
+    // output layout `out[blk · n + j]` (matching `top2_min_per_column_blocked`).
+    let mut out = vec![Top2::EMPTY; batch * n];
+    for (ci, state) in per_chunk.iter().enumerate() {
+        let j0 = ci * NC;
+        for (lj, col_states) in state.chunks_exact(batch).enumerate() {
+            for (blk, &t) in col_states.iter().enumerate() {
+                out[blk * n + j0 + lj] = t;
+            }
+        }
+    }
+    out
+}
+
+/// Blocked `C = alpha · AᵀB`, f32 operands (packs A internally).
+///
+/// # Panics
+/// Panics if the contraction depths differ.
+pub fn gemm_at_b_blocked(alpha: f32, a: &Mat, b: &Mat) -> Mat {
+    gemm_packed(alpha, &PackedA::from_f32(a), Operand::F32(b))
+}
+
+/// Blocked `C = alpha · AᵀB`, f16 operands widened once during packing,
+/// f32 accumulation (the `CUBLAS_COMPUTE_32F` HGEMM analogue).
+///
+/// # Panics
+/// Panics if the contraction depths differ.
+pub fn gemm_at_b_blocked_f16(alpha: f32, a: &MatF16, b: &MatF16) -> Mat {
+    gemm_packed(alpha, &PackedA::from_f16(a), Operand::F16(b))
+}
+
+/// Fused `top2(alpha · AᵀB)` per output column, f32 operands.
+///
+/// # Panics
+/// Panics if depths differ or `a` has fewer than two columns.
+pub fn gemm_top2(alpha: f32, a: &Mat, b: &Mat) -> Vec<Top2> {
+    gemm_top2_ex(
+        alpha,
+        &PackedA::from_f32(a),
+        Operand::F32(b),
+        &FusedEpilogue::default(),
+        1,
+        a.cols(),
+    )
+}
+
+/// Fused `top2(alpha · AᵀB)` per output column, f16 operands; every value
+/// is round-tripped through f16 before comparison, exactly like scanning a
+/// 16-bit HGEMM output.
+///
+/// # Panics
+/// Panics if depths differ or `a` has fewer than two columns.
+pub fn gemm_top2_f16(alpha: f32, a: &MatF16, b: &MatF16) -> Vec<Top2> {
+    gemm_top2_ex(
+        alpha,
+        &PackedA::from_f16(a),
+        Operand::F16(b),
+        &FusedEpilogue { quantize_f16: true, ..FusedEpilogue::default() },
+        1,
+        a.cols(),
+    )
+}
+
+/// Fused batched-reference top-2, f32 operands: `batch` blocks of
+/// `m_per_ref` reference columns scanned separately
+/// (`out[blk · n + j]`, the layout of `top2_min_per_column_blocked`).
+///
+/// # Panics
+/// Panics on shape mismatch or `m_per_ref < 2`.
+pub fn gemm_top2_blocked(
+    alpha: f32,
+    a: &Mat,
+    b: &Mat,
+    batch: usize,
+    m_per_ref: usize,
+) -> Vec<Top2> {
+    gemm_top2_ex(
+        alpha,
+        &PackedA::from_f32(a),
+        Operand::F32(b),
+        &FusedEpilogue::default(),
+        batch,
+        m_per_ref,
+    )
+}
+
+/// Fused batched-reference top-2, f16 operands with f16-quantized
+/// comparisons (the batched HGEMM path).
+///
+/// # Panics
+/// Panics on shape mismatch or `m_per_ref < 2`.
+pub fn gemm_top2_blocked_f16(
+    alpha: f32,
+    a: &MatF16,
+    b: &MatF16,
+    batch: usize,
+    m_per_ref: usize,
+) -> Vec<Top2> {
+    gemm_top2_ex(
+        alpha,
+        &PackedA::from_f16(a),
+        Operand::F16(b),
+        &FusedEpilogue { quantize_f16: true, ..FusedEpilogue::default() },
+        batch,
+        m_per_ref,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::gemm_at_b_naive;
+    use crate::top2::{top2_min_per_column, top2_min_per_column_blocked, top2_min_per_column_f16};
+
+    fn mat_rand(rows: usize, cols: usize, seed: u64) -> Mat {
+        let mut state = seed | 1;
+        Mat::from_fn(rows, cols, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 40) & 0xffff) as f32 / 65535.0 - 0.5
+        })
+    }
+
+    #[test]
+    fn blocked_matches_naive_exactly_on_aligned_shape() {
+        // MR/NR-aligned shape: same ascending-k summation order as naive.
+        let a = mat_rand(16, 8, 1);
+        let b = mat_rand(16, 12, 2);
+        let fast = gemm_at_b_blocked(-2.0, &a, &b);
+        let slow = gemm_at_b_naive(-2.0, &a, &b);
+        assert_eq!(fast, slow, "blocked kernel must match naive bit-for-bit");
+    }
+
+    #[test]
+    fn blocked_handles_ragged_edges() {
+        // m, n not multiples of the tile; d not a multiple of anything.
+        for (d, m, n) in [(1, 1, 1), (5, 3, 7), (127, 9, 5), (3, 130, 66)] {
+            let a = mat_rand(d, m, d as u64);
+            let b = mat_rand(d, n, n as u64 + 7);
+            let fast = gemm_at_b_blocked(1.0, &a, &b);
+            let slow = gemm_at_b_naive(1.0, &a, &b);
+            assert!(fast.max_abs_diff(&slow) < 1e-5, "d={d} m={m} n={n}");
+        }
+    }
+
+    #[test]
+    fn blocked_empty_operands() {
+        let c = gemm_at_b_blocked(1.0, &Mat::zeros(4, 0), &Mat::zeros(4, 3));
+        assert_eq!((c.rows(), c.cols()), (0, 3));
+        let c = gemm_at_b_blocked(1.0, &Mat::zeros(4, 3), &Mat::zeros(4, 0));
+        assert_eq!((c.rows(), c.cols()), (3, 0));
+        let c = gemm_at_b_blocked(1.0, &Mat::zeros(0, 2), &Mat::zeros(0, 2));
+        assert_eq!(c, Mat::zeros(2, 2));
+    }
+
+    #[test]
+    fn f16_blocked_matches_widened_f32_gemm() {
+        let a = mat_rand(24, 10, 3);
+        let b = mat_rand(24, 6, 4);
+        let (a16, b16) = (a.to_f16_scaled(1.0), b.to_f16_scaled(1.0));
+        // Widening once up front must equal a full-precision GEMM over the
+        // widened values.
+        let widened_a = a16.to_f32_unscaled(1.0);
+        let widened_b = b16.to_f32_unscaled(1.0);
+        let via_f16 = gemm_at_b_blocked_f16(-2.0, &a16, &b16);
+        let via_f32 = gemm_at_b_blocked(-2.0, &widened_a, &widened_b);
+        assert_eq!(via_f16, via_f32);
+    }
+
+    #[test]
+    fn fused_equals_materialize_then_scan() {
+        let a = mat_rand(32, 37, 5);
+        let b = mat_rand(32, 21, 6);
+        let fused = gemm_top2(-2.0, &a, &b);
+        let c = gemm_at_b_blocked(-2.0, &a, &b);
+        let unfused = top2_min_per_column(&c);
+        assert_eq!(fused, unfused, "fused top-2 must be bit-identical");
+    }
+
+    #[test]
+    fn fused_f16_equals_narrow_then_scan() {
+        let a = mat_rand(16, 11, 7).to_f16_scaled(0.25);
+        let b = mat_rand(16, 9, 8).to_f16_scaled(0.25);
+        let fused = gemm_top2_f16(-2.0, &a, &b);
+        let c = gemm_at_b_blocked_f16(-2.0, &a, &b);
+        let narrowed = MatF16::from_col_major(
+            c.rows(),
+            c.cols(),
+            c.as_slice().iter().map(|&v| F16::from_f32(v)).collect(),
+        );
+        let unfused = top2_min_per_column_f16(&narrowed);
+        assert_eq!(fused, unfused);
+    }
+
+    #[test]
+    fn fused_blocked_equals_blocked_scan() {
+        let a = mat_rand(8, 15, 9); // 3 blocks of 5 — tiles straddle blocks
+        let b = mat_rand(8, 6, 10);
+        let fused = gemm_top2_blocked(-2.0, &a, &b, 3, 5);
+        let c = gemm_at_b_blocked(-2.0, &a, &b);
+        let unfused = top2_min_per_column_blocked(&c, 3, 5);
+        assert_eq!(fused, unfused);
+    }
+
+    #[test]
+    fn fused_row_bias_equals_add_row_norms_then_scan() {
+        let a = mat_rand(12, 10, 11);
+        let b = mat_rand(12, 4, 12);
+        let bias: Vec<f32> = (0..10).map(|i| i as f32 * 0.3).collect();
+        let fused = gemm_top2_ex(
+            -2.0,
+            &PackedA::from_f32(&a),
+            Operand::F32(&b),
+            &FusedEpilogue { row_bias: Some(&bias), ..FusedEpilogue::default() },
+            1,
+            10,
+        );
+        let mut c = gemm_at_b_blocked(-2.0, &a, &b);
+        crate::norms::add_row_norms(&mut c, &bias);
+        assert_eq!(fused, top2_min_per_column(&c));
+    }
+
+    #[test]
+    fn fused_tie_keeps_first_index() {
+        // Identical reference columns: the scan must report the first.
+        let a = Mat::from_col_major(2, 3, vec![1.0, 2.0, 1.0, 2.0, 1.0, 2.0]);
+        let b = Mat::from_col_major(2, 1, vec![0.5, 0.5]);
+        let t = gemm_top2(1.0, &a, &b);
+        assert_eq!(t[0].idx, 0);
+        assert_eq!(t[0].d1, t[0].d2);
+    }
+
+    #[test]
+    fn fused_empty_query() {
+        let a = mat_rand(4, 6, 13);
+        let b = Mat::zeros(4, 0);
+        assert!(gemm_top2(1.0, &a, &b).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn fused_rejects_single_reference() {
+        let a = Mat::zeros(4, 1);
+        let b = Mat::zeros(4, 2);
+        let _ = gemm_top2(1.0, &a, &b);
+    }
+
+    #[test]
+    fn packed_a_reuse_across_calls() {
+        let a = mat_rand(8, 7, 14);
+        let b1 = mat_rand(8, 3, 15);
+        let b2 = mat_rand(8, 5, 16);
+        let pa = PackedA::from_f32(&a);
+        assert_eq!(gemm_packed(1.0, &pa, Operand::F32(&b1)), gemm_at_b_blocked(1.0, &a, &b1));
+        assert_eq!(gemm_packed(1.0, &pa, Operand::F32(&b2)), gemm_at_b_blocked(1.0, &a, &b2));
+    }
+}

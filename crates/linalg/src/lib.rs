@@ -20,6 +20,7 @@
 
 pub mod f16;
 pub mod gemm;
+pub mod kernel;
 pub mod mat;
 pub mod norms;
 pub mod top2;
@@ -32,6 +33,7 @@ pub use top2::Top2;
 pub mod prelude {
     pub use crate::f16::F16;
     pub use crate::gemm::{gemm_at_b, gemm_at_b_f16, neg2_at_b, neg2_at_b_f16};
+    pub use crate::kernel::{gemm_top2, gemm_top2_f16, FusedEpilogue, Operand, PackedA};
     pub use crate::mat::{Mat, MatF16};
     pub use crate::norms::col_sq_norms;
     pub use crate::top2::{top2_min_per_column, Top2};

@@ -183,6 +183,17 @@ impl MatF16 {
         Self { rows, cols, data }
     }
 
+    /// Narrow an f32 matrix element-wise (round-to-nearest-even, no scale)
+    /// — the 16-bit HGEMM *output* path, as opposed to
+    /// [`Mat::to_f16_scaled`] which models scaled operand storage.
+    pub fn narrowed(a: &Mat) -> MatF16 {
+        MatF16 {
+            rows: a.rows,
+            cols: a.cols,
+            data: a.data.iter().map(|&v| F16::from_f32(v)).collect(),
+        }
+    }
+
     /// Number of rows.
     #[inline]
     pub fn rows(&self) -> usize {

@@ -22,6 +22,27 @@ pub struct Top2 {
 }
 
 impl Top2 {
+    /// The pre-scan state: both "registers" at `+∞`, index 0. Observing
+    /// candidates in ascending-index order from this state reproduces the
+    /// CUDA kernel's first-index tie-breaking exactly.
+    pub const EMPTY: Top2 = Top2 { idx: 0, d1: f32::INFINITY, d2: f32::INFINITY };
+
+    /// Fold one candidate `(index, value)` into the running minima — the
+    /// incremental form of the register-resident scan, used by the fused
+    /// GEMM epilogue (`crate::kernel::gemm_top2_ex`) to consume tile values
+    /// as they are produced. Candidates must arrive in ascending-index
+    /// order for ties to keep the first index.
+    #[inline(always)]
+    pub fn observe(&mut self, i: u32, v: f32) {
+        if v < self.d1 {
+            self.d2 = self.d1;
+            self.d1 = v;
+            self.idx = i;
+        } else if v < self.d2 {
+            self.d2 = v;
+        }
+    }
+
     /// Lowe's ratio `d1/d2`; `f32::INFINITY` when `d2` is zero.
     pub fn ratio(&self) -> f32 {
         if self.d2 == 0.0 {
@@ -37,18 +58,11 @@ impl Top2 {
 fn scan_top2(col: &[f32]) -> Top2 {
     debug_assert!(col.len() >= 2, "top-2 needs at least two candidates");
     // Two "registers", exactly as the single-thread-per-column CUDA kernel.
-    let (mut d1, mut d2) = (f32::INFINITY, f32::INFINITY);
-    let mut idx = 0u32;
+    let mut t = Top2::EMPTY;
     for (i, &v) in col.iter().enumerate() {
-        if v < d1 {
-            d2 = d1;
-            d1 = v;
-            idx = i as u32;
-        } else if v < d2 {
-            d2 = v;
-        }
+        t.observe(i as u32, v);
     }
-    Top2 { idx, d1, d2 }
+    t
 }
 
 /// Find the two smallest entries of every column of `a` (one result per
@@ -218,6 +232,17 @@ mod tests {
     fn blocked_single_block_equals_plain() {
         let a = Mat::from_fn(6, 3, |r, c| ((r * 5 + c) % 11) as f32);
         assert_eq!(top2_min_per_column_blocked(&a, 1, 6), top2_min_per_column(&a));
+    }
+
+    #[test]
+    fn incremental_observe_equals_scan() {
+        let col = [5.0f32, 1.0, 3.0, 1.0, 2.0];
+        let mut inc = Top2::EMPTY;
+        for (i, &v) in col.iter().enumerate() {
+            inc.observe(i as u32, v);
+        }
+        assert_eq!(inc, scan_top2(&col));
+        assert_eq!(inc.idx, 1, "tie on 1.0 must keep the first index");
     }
 
     #[test]

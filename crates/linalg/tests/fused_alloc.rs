@@ -1,0 +1,75 @@
+//! Proof that the fused GEMM + top-2 path never materializes the `m × n`
+//! similarity matrix: a counting global allocator measures the peak live
+//! heap during the call and asserts it stays far below `m·n·4` bytes,
+//! while the materialize-then-scan pipeline provably crosses that line.
+//!
+//! This is its own integration-test binary because a `#[global_allocator]`
+//! is process-wide; keeping it out of the main test binaries avoids
+//! perturbing their (parallel) allocation patterns.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use texid_linalg::gemm::gemm_at_b;
+use texid_linalg::kernel::gemm_top2;
+use texid_linalg::mat::Mat;
+use texid_linalg::top2::top2_min_per_column;
+
+struct CountingAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Peak heap growth (bytes above the starting live size) while running `f`.
+fn peak_during<R>(f: impl FnOnce() -> R) -> (R, usize) {
+    let base = LIVE.load(Ordering::Relaxed);
+    PEAK.store(base, Ordering::Relaxed);
+    let out = f();
+    let peak = PEAK.load(Ordering::Relaxed);
+    (out, peak.saturating_sub(base))
+}
+
+#[test]
+fn fused_top2_never_allocates_the_distance_matrix() {
+    // Deliberately shallow (d = 16) so the packed operands are tiny next to
+    // the m × n product: matrix = 1536·1024·4 = 6 MiB, operands ≈ 160 KiB.
+    let (m, n, d) = (1536usize, 1024usize, 16usize);
+    let a = Mat::from_fn(d, m, |r, c| ((r * 31 + c * 7) % 113) as f32 * 1e-2);
+    let b = Mat::from_fn(d, n, |r, c| ((r * 17 + c * 3) % 127) as f32 * 1e-2);
+    let matrix_bytes = m * n * 4;
+
+    let (unfused, peak_unfused) =
+        peak_during(|| top2_min_per_column(&gemm_at_b(-2.0, &a, &b)));
+    assert!(
+        peak_unfused >= matrix_bytes,
+        "materialized pipeline must allocate the full matrix: peak {peak_unfused} < {matrix_bytes}"
+    );
+
+    let (fused, peak_fused) = peak_during(|| gemm_top2(-2.0, &a, &b));
+    assert!(
+        peak_fused < matrix_bytes / 4,
+        "fused path must stay far below the m×n matrix: peak {peak_fused} vs {matrix_bytes}"
+    );
+
+    // And the cheapness must not cost correctness.
+    assert_eq!(fused, unfused);
+}

@@ -2,10 +2,16 @@
 
 use proptest::prelude::*;
 use texid_linalg::f16::F16;
-use texid_linalg::gemm::{gemm_at_b, gemm_at_b_naive};
-use texid_linalg::mat::Mat;
+use texid_linalg::gemm::{gemm_at_b, gemm_at_b_f16, gemm_at_b_naive};
+use texid_linalg::kernel::{
+    gemm_at_b_blocked, gemm_top2, gemm_top2_blocked, gemm_top2_ex, gemm_top2_f16, FusedEpilogue,
+    Operand, PackedA,
+};
+use texid_linalg::mat::{Mat, MatF16};
 use texid_linalg::norms::{add_row_norms, col_sq_norms};
-use texid_linalg::top2::{sort_columns, top2_min_per_column, top2_min_per_column_blocked};
+use texid_linalg::top2::{
+    sort_columns, top2_min_per_column, top2_min_per_column_blocked, top2_min_per_column_f16,
+};
 
 fn mat_strategy(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Mat> {
     (2..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
@@ -126,4 +132,132 @@ proptest! {
             prop_assert_eq!(cat.col(a.cols() + j), b.col(j));
         }
     }
+
+    // ---- blocked / fused kernel equivalences ----
+
+    #[test]
+    fn blocked_equals_naive_bitwise(
+        // Shape ranges deliberately straddle the tile boundaries: depths not
+        // divisible by the k-unroll, m/n both smaller and larger than the
+        // 4×4 register tile.
+        d in 1usize..48, m in 1usize..40, n in 1usize..20,
+        seed in any::<u64>(),
+    ) {
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        };
+        let a = Mat::from_fn(d, m, |_, _| next());
+        let b = Mat::from_fn(d, n, |_, _| next());
+        // Both kernels accumulate each output in one ascending-k f32
+        // register, so they agree bit-for-bit (see gemm module docs).
+        prop_assert_eq!(gemm_at_b_blocked(-2.0, &a, &b), gemm_at_b_naive(-2.0, &a, &b));
+    }
+
+    #[test]
+    fn fused_top2_equals_materialize_then_scan(
+        d in 1usize..32, m in 2usize..40, n in 1usize..16,
+        seed in any::<u64>(),
+    ) {
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        };
+        let a = Mat::from_fn(d, m, |_, _| next());
+        let b = Mat::from_fn(d, n, |_, _| next());
+        let fused = gemm_top2(-2.0, &a, &b);
+        let scanned = top2_min_per_column(&gemm_at_b_blocked(-2.0, &a, &b));
+        for (f, s) in fused.iter().zip(&scanned) {
+            prop_assert_eq!(f.idx, s.idx);
+            prop_assert_eq!(f.d1, s.d1, "d1 must be bit-identical");
+            prop_assert_eq!(f.d2, s.d2, "d2 must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn fused_f16_equals_narrow_then_scan(
+        d in 1usize..24, m in 2usize..24, n in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        };
+        let af = Mat::from_fn(d, m, |_, _| next());
+        let bf = Mat::from_fn(d, n, |_, _| next());
+        let a = af.to_f16_scaled(0.25);
+        let b = bf.to_f16_scaled(0.25);
+        let fused = gemm_top2_f16(-2.0, &a, &b);
+        let scanned =
+            top2_min_per_column_f16(&MatF16::narrowed(&gemm_at_b_f16(-2.0, &a, &b)));
+        for (f, s) in fused.iter().zip(&scanned) {
+            prop_assert_eq!(f.idx, s.idx);
+            prop_assert_eq!(f.d1, s.d1);
+            prop_assert_eq!(f.d2, s.d2);
+        }
+    }
+
+    #[test]
+    fn fused_blocked_equals_blocked_scan(
+        d in 1usize..16, m_per in 2usize..9, batch in 1usize..5, n in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        };
+        let a = Mat::from_fn(d, batch * m_per, |_, _| next());
+        let b = Mat::from_fn(d, n, |_, _| next());
+        let fused = gemm_top2_blocked(-2.0, &a, &b, batch, m_per);
+        let scanned =
+            top2_min_per_column_blocked(&gemm_at_b_blocked(-2.0, &a, &b), batch, m_per);
+        prop_assert_eq!(fused, scanned);
+    }
+
+    #[test]
+    fn fused_row_bias_equals_add_norms_then_scan(
+        d in 1usize..24, m in 2usize..20, n in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        };
+        let a = Mat::from_fn(d, m, |_, _| next());
+        let b = Mat::from_fn(d, n, |_, _| next());
+        let n_r = col_sq_norms(&a);
+        let fused = gemm_top2_ex(
+            -2.0,
+            &PackedA::from_f32(&a),
+            Operand::F32(&b),
+            &FusedEpilogue { row_bias: Some(&n_r), ..FusedEpilogue::default() },
+            1,
+            m,
+        );
+        let mut c = gemm_at_b_blocked(-2.0, &a, &b);
+        add_row_norms(&mut c, &n_r);
+        prop_assert_eq!(fused, top2_min_per_column(&c));
+    }
+}
+
+#[test]
+fn blocked_gemm_empty_operands() {
+    // Degenerate shapes must produce well-formed empty/zero results, not
+    // panic: zero-depth (every dot is empty ⇒ 0), zero queries, and both.
+    let c = gemm_at_b_blocked(-2.0, &Mat::zeros(0, 3), &Mat::zeros(0, 2));
+    assert_eq!((c.rows(), c.cols()), (3, 2));
+    assert!(c.as_slice().iter().all(|&v| v == 0.0));
+
+    let c = gemm_at_b_blocked(1.0, &Mat::zeros(4, 0), &Mat::zeros(4, 2));
+    assert_eq!((c.rows(), c.cols()), (0, 2));
+
+    let c = gemm_at_b_blocked(1.0, &Mat::zeros(4, 3), &Mat::zeros(4, 0));
+    assert_eq!((c.rows(), c.cols()), (3, 0));
+
+    assert!(gemm_top2(-2.0, &Mat::zeros(5, 2), &Mat::zeros(5, 0)).is_empty());
 }
