@@ -8,6 +8,7 @@
 //! texid capacity                                           print the capacity planner table
 //! texid trace    [--streams 4] [--chunks 16] --out t.trace.json   export a Perfetto timeline
 //! texid bench kernels [--quick] [--check]                  CPU kernel GFLOP/s -> BENCH_kernels.json
+//! texid bench throughput [--quick] [--check]               serving imgs/s -> BENCH_throughput.json
 //! ```
 //!
 //! Feature files use the crate's protobuf-style wire format; images are
@@ -104,7 +105,8 @@ const USAGE: &str = "usage:
   texid serve    [--port 0] [--containers 4]
   texid capacity
   texid trace    [--streams 4] [--chunks 16] [--batch 64] [--out pipeline.trace.json]
-  texid bench kernels [--quick] [--check] [--out BENCH_kernels.json]";
+  texid bench kernels [--quick] [--check] [--out BENCH_kernels.json]
+  texid bench throughput [--quick] [--check] [--out BENCH_throughput.json]";
 
 fn cmd_gen(args: &Args) -> Result<(), String> {
     let count = args.get_usize("count", 12);
@@ -291,9 +293,10 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
 fn cmd_bench(target: Option<&str>, args: &Args) -> Result<(), String> {
     match target {
         Some("kernels") => {}
+        Some("throughput") => return cmd_bench_throughput(args),
         other => {
             return Err(format!(
-                "unknown bench target {other:?} — only 'kernels' is available\n{USAGE}"
+                "unknown bench target {other:?} — 'kernels' and 'throughput' are available\n{USAGE}"
             ))
         }
     }
@@ -320,6 +323,42 @@ fn cmd_bench(target: Option<&str>, args: &Args) -> Result<(), String> {
     if args.has("check") {
         texid_bench::kernels::check_guard(&report, 0.9)?;
         println!("check passed: packed >= 0.9x flat GFLOP/s at the largest shape, both precisions");
+    }
+    Ok(())
+}
+
+fn cmd_bench_throughput(args: &Args) -> Result<(), String> {
+    let quick = args.has("quick");
+    let out = PathBuf::from(args.get("out").unwrap_or("BENCH_throughput.json"));
+
+    println!(
+        "running serving throughput benchmark ({} mode) — concurrent clients x query coalescing \
+         on a cramped (host-resident) shard…",
+        if quick { "quick" } else { "full" }
+    );
+    let report = texid_bench::throughput::run(quick);
+    let json = report.to_json();
+    texid_bench::throughput::validate_json(&json)?;
+    std::fs::write(&out, &json).map_err(|e| format!("{}: {e}", out.display()))?;
+
+    for e in &report.entries {
+        println!(
+            "  clients={:<3} coalesce={:<5} {:>12.1} imgs/s (sim)  group={:<5.1} h2d={:>12.1} us",
+            e.clients, e.coalesce, e.imgs_per_sec, e.mean_group, e.h2d_us
+        );
+    }
+    let max_clients = report.entries.iter().map(|e| e.clients).max().unwrap_or(1);
+    if let Some(speedup) = report.coalesce_speedup(max_clients) {
+        println!("coalescing speedup at {max_clients} clients: {speedup:.2}x");
+    }
+    if let Some(scaling) = report.scaling_vs_one(max_clients) {
+        println!("throughput at {max_clients} clients vs 1 client: {scaling:.2}x");
+    }
+    println!("wrote {} cells to {}", report.entries.len(), out.display());
+
+    if args.has("check") {
+        texid_bench::throughput::check_guard(&report, 1.0)?;
+        println!("check passed: coalesced >= 1.0x uncoalesced imgs/s at {max_clients} clients");
     }
     Ok(())
 }

@@ -8,8 +8,12 @@
 //! The [`kernels`] module is different: it times the *real* CPU kernels
 //! (packed vs flat vs naive GEMM, fused vs unfused top-2) and emits a
 //! machine-readable `BENCH_kernels.json`; see `texid bench kernels`.
+//! [`throughput`] measures concurrent serving (clients × coalescing) in
+//! the simulated-time domain and emits `BENCH_throughput.json`; see
+//! `texid bench throughput`.
 
 pub mod kernels;
+pub mod throughput;
 
 /// Print a table header box.
 pub fn heading(title: &str) {

@@ -15,6 +15,7 @@
 //! simulated card.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use texid_gpu::{BufferId, GpuSim};
 use texid_obs::Counter;
 
@@ -141,6 +142,32 @@ pub struct CacheStats {
     pub swap_copy_us: f64,
 }
 
+/// Interior-mutable statistic cells: the search path is `&self` (many
+/// concurrent readers share one cache behind a read lock), so hit counts
+/// must be atomics rather than plain fields. `swap_copy_us` stores f64
+/// bits; it is only written from `insert` (`&mut self`), so a plain
+/// load-add-store is race-free.
+#[derive(Default)]
+struct StatCells {
+    inserted: AtomicU64,
+    swaps: AtomicU64,
+    device_hits: AtomicU64,
+    host_hits: AtomicU64,
+    swap_copy_us_bits: AtomicU64,
+}
+
+impl StatCells {
+    fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            inserted: self.inserted.load(Ordering::Relaxed),
+            swaps: self.swaps.load(Ordering::Relaxed),
+            device_hits: self.device_hits.load(Ordering::Relaxed),
+            host_hits: self.host_hits.load(Ordering::Relaxed),
+            swap_copy_us: f64::from_bits(self.swap_copy_us_bits.load(Ordering::Relaxed)),
+        }
+    }
+}
+
 struct DeviceEntry<T> {
     id: u64,
     payload: T,
@@ -184,7 +211,7 @@ pub struct HybridCache<T: Payload> {
     device: VecDeque<DeviceEntry<T>>,
     host: VecDeque<HostEntry<T>>,
     host_used: u64,
-    stats: CacheStats,
+    stats: StatCells,
     telemetry: Telemetry,
 }
 
@@ -196,7 +223,7 @@ impl<T: Payload> HybridCache<T> {
             device: VecDeque::new(),
             host: VecDeque::new(),
             host_used: 0,
-            stats: CacheStats::default(),
+            stats: StatCells::default(),
             telemetry: Telemetry::register(),
         }
     }
@@ -227,7 +254,7 @@ impl<T: Payload> HybridCache<T> {
                 match sim.alloc(bytes) {
                     Ok(buffer) => {
                         self.device.push_back(DeviceEntry { id, payload, buffer });
-                        self.stats.inserted += 1;
+                        self.stats.inserted.fetch_add(1, Ordering::Relaxed);
                         self.telemetry.inserts.inc();
                         return Ok(());
                     }
@@ -247,8 +274,10 @@ impl<T: Payload> HybridCache<T> {
             sim.free(oldest.buffer);
             let stream = sim.default_stream();
             let rec = sim.d2h(stream, ob);
-            self.stats.swap_copy_us += rec.duration_us();
-            self.stats.swaps += 1;
+            let us = f64::from_bits(self.stats.swap_copy_us_bits.load(Ordering::Relaxed))
+                + rec.duration_us();
+            self.stats.swap_copy_us_bits.store(us.to_bits(), Ordering::Relaxed);
+            self.stats.swaps.fetch_add(1, Ordering::Relaxed);
             self.telemetry.evictions.inc();
             self.host_used += ob;
             self.host.push_back(HostEntry { id: oldest.id, payload: oldest.payload });
@@ -258,9 +287,13 @@ impl<T: Payload> HybridCache<T> {
     /// Iterate every cached batch in search order (device-resident first —
     /// they need no PCIe transfer — then host-resident, each FIFO).
     /// Records hit statistics as it goes.
-    pub fn search_iter(&mut self) -> impl Iterator<Item = (u64, &T, Tier)> {
-        self.stats.device_hits += self.device.len() as u64;
-        self.stats.host_hits += self.host.len() as u64;
+    ///
+    /// Takes `&self`: the hit counters are atomic cells, so any number of
+    /// concurrent searches may traverse the cache behind a shared read
+    /// lock while inserts hold the write lock.
+    pub fn search_iter(&self) -> impl Iterator<Item = (u64, &T, Tier)> {
+        self.stats.device_hits.fetch_add(self.device.len() as u64, Ordering::Relaxed);
+        self.stats.host_hits.fetch_add(self.host.len() as u64, Ordering::Relaxed);
         self.telemetry.device_hits.add(self.device.len() as u64);
         self.telemetry.host_hits.add(self.host.len() as u64);
         let dev = self.device.iter().map(|e| (e.id, &e.payload, Tier::Device));
@@ -304,9 +337,9 @@ impl<T: Payload> HybridCache<T> {
         self.host_used
     }
 
-    /// Statistics so far.
+    /// Statistics so far (a point-in-time snapshot of the atomic cells).
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        self.stats.snapshot()
     }
 
     /// Total cache capacity in bytes (device budget + host), given the

@@ -16,6 +16,8 @@
 //!   would not fit in test-host RAM, and their values do not affect the
 //!   cost model).
 
+use parking_lot::Mutex;
+use rayon::prelude::*;
 use texid_cache::{CacheConfig, CacheError, CacheStats, HybridCache, Payload, Tier};
 use texid_gpu::{cost, streams, DeviceSpec, GpuSim, Kernel, Precision};
 use texid_knn::pair::D2H_BYTES_PER_QUERY_FEATURE;
@@ -181,6 +183,10 @@ pub struct SearchReport {
     pub serial_total_us: f64,
     /// Wall total after the multi-stream model, µs.
     pub total_us: f64,
+    /// Queries that shared this cache traversal (1 = uncoalesced search;
+    /// Q > 1 means each host batch's H2D cost was charged once and split
+    /// `1/Q` into each query's `h2d_us`).
+    pub coalesced_queries: usize,
 }
 
 impl SearchReport {
@@ -238,6 +244,12 @@ pub struct Engine {
     phantom_ids: Vec<u64>,
     next_batch: u64,
     references: usize,
+    /// Reusable scratch devices for functional matching (timing comes from
+    /// the engine-level cost accounting, not these). A pool rather than a
+    /// single sim so concurrent `&self` searches never serialize on one
+    /// scratch device: each batch pops a sim (creating one only when the
+    /// pool is dry, i.e. at most once per concurrent worker) and returns it.
+    scratch: Mutex<Vec<GpuSim>>,
     telemetry: Telemetry,
 }
 
@@ -257,6 +269,7 @@ impl Engine {
             phantom_ids: Vec::new(),
             next_batch: 0,
             references: 0,
+            scratch: Mutex::new(Vec::new()),
             telemetry: Telemetry::register(),
         }
     }
@@ -427,26 +440,70 @@ impl Engine {
         self.flush()
     }
 
+    /// True when references were added since the last [`Engine::flush`]
+    /// (i.e. a write lock + `flush()` is needed before searching sees
+    /// everything). Lets the serving path skip the write lock entirely in
+    /// the steady state.
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty() || self.pending_phantom > 0
+    }
+
     /// Search the query against every indexed reference. The query feature
     /// matrix is truncated to `n_query` columns (asymmetric n).
+    ///
+    /// Takes `&self`: the search path only reads the cache layout and
+    /// config; hit statistics and telemetry are atomic cells, and the
+    /// functional-matching scratch devices live in an interior pool. Any
+    /// number of searches may therefore run concurrently behind a shared
+    /// read lock.
     ///
     /// A degenerate query (no features) returns every reference with a
     /// zero score rather than panicking — extraction can legitimately come
     /// up empty on an all-occluded capture.
-    pub fn search(&mut self, query: &FeatureMatrix) -> SearchResult {
-        let n = self.cfg.n_query.min(query.len());
-        let qmat = texid_linalg::Mat::from_col_major(
-            query.dim(),
-            n,
-            query.mat.as_slice()[..query.dim() * n].to_vec(),
-        );
-        let qblock = {
-            let _span = Span::with(self.telemetry.encode.clone());
-            FeatureBlock::from_mat(qmat, self.cfg.matching.precision, self.cfg.matching.scale)
-        };
+    pub fn search(&self, query: &FeatureMatrix) -> SearchResult {
+        self.search_many(&[query]).pop().expect("one query in, one result out")
+    }
 
-        let mut report = SearchReport::default();
-        let mut ranked: Vec<(u64, usize)> = Vec::new();
+    /// Search `Q` coalesced queries in one pass over the cache: every
+    /// reference batch is visited once, each *host*-resident batch is
+    /// charged its H2D transfer **once** and the cost is split `1/Q` into
+    /// each query's report ([`cost::h2d_amortized_us`]) — the continuous
+    /// batching that makes concurrent serving cheaper than Q independent
+    /// sweeps. Per-query results are demuxed in input order.
+    ///
+    /// Determinism contract: for `Q = 1` the result is bit-identical to
+    /// the historical serial sweep (same batch visit order, same f64
+    /// accumulation order, same stable ranking sort), and the per-batch
+    /// sweep below parallelizes over *batches* while the merge folds
+    /// partial results back in batch index order — so concurrent and
+    /// serial execution cannot diverge.
+    pub fn search_many(&self, queries: &[&FeatureMatrix]) -> Vec<SearchResult> {
+        let nq = queries.len();
+        if nq == 0 {
+            return Vec::new();
+        }
+        // Encode every query block up front (asymmetric n truncation).
+        let qblocks: Vec<(usize, FeatureBlock)> = queries
+            .iter()
+            .map(|query| {
+                let n = self.cfg.n_query.min(query.len());
+                let qmat = texid_linalg::Mat::from_col_major(
+                    query.dim(),
+                    n,
+                    query.mat.as_slice()[..query.dim() * n].to_vec(),
+                );
+                let qblock = {
+                    let _span = Span::with(self.telemetry.encode.clone());
+                    FeatureBlock::from_mat(
+                        qmat,
+                        self.cfg.matching.precision,
+                        self.cfg.matching.scale,
+                    )
+                };
+                (n, qblock)
+            })
+            .collect();
+
         let pinned = self.cfg.cache.pinned;
         let spec = self.sim.spec().clone();
 
@@ -460,69 +517,137 @@ impl Engine {
             iter.map(|(_, b, tier)| Work { batch: b, tier }).collect()
         };
 
-        for w in &work {
-            let bsize = w.batch.ids.len();
-            let m_per = w.batch.m_per_ref;
-            let cols = bsize * m_per;
-            report.images += bsize;
+        // Per-batch partial result: costs and score contributions for each
+        // of the Q queries. Computed independently per batch (rayon), then
+        // folded in batch index order so accumulation stays deterministic.
+        struct BatchPartial {
+            bsize: usize,
+            tier: Tier,
+            h2d_share_us: f64,
+            gemm_us: Vec<f64>,
+            sort_us: Vec<f64>,
+            d2h_us: Vec<f64>,
+            post_us: Vec<f64>,
+            scores: Vec<Vec<(u64, usize)>>,
+        }
 
-            // Host-resident batches stream over PCIe first (§6.1).
-            if w.tier == Tier::Host {
-                report.host_batches += 1;
-                let bytes = w.batch.size_bytes();
-                report.h2d_us += cost::h2d_duration_us(&spec, bytes, pinned);
-            } else {
-                report.device_batches += 1;
-            }
+        let partials: Vec<BatchPartial> = work
+            .par_iter()
+            .map(|w| {
+                let bsize = w.batch.ids.len();
+                let m_per = w.batch.m_per_ref;
+                let cols = bsize * m_per;
 
-            // Kernel + copy durations (engine-level accounting; the serial
-            // per-batch pipeline matches `texid_knn::match_batch`).
-            report.gemm_us += cost::kernel_duration_us(&spec, &Kernel::Gemm {
-                m_rows: cols,
-                n_cols: n,
-                k_depth: 128,
-                precision: self.cfg.matching.precision,
-                tensor_core: self.cfg.matching.tensor_core,
-            });
-            report.sort_us += cost::kernel_duration_us(&spec, &Kernel::Top2Scan {
-                m_rows: m_per,
-                n_cols: bsize * n,
-                precision: self.cfg.matching.precision,
-            });
-            report.d2h_us += cost::d2h_duration_us(
-                &spec,
-                (bsize * n) as u64 * D2H_BYTES_PER_QUERY_FEATURE,
-            );
-            report.post_us += cost::cpu_post_us(&spec, bsize);
+                // Host-resident batches stream over PCIe once for all Q
+                // queries (§6.1 + coalescing); each report gets a 1/Q share.
+                let h2d_share_us = if w.tier == Tier::Host {
+                    cost::h2d_amortized_us(&spec, w.batch.size_bytes(), pinned, nq)
+                } else {
+                    0.0
+                };
 
-            // Functional matching for real batches when numerics are on.
-            if self.cfg.matching.exec == ExecMode::Full {
-                if let BatchData::Real(block) = &w.batch.data {
-                    let cfg = MatchConfig {
-                        algorithm: Algorithm::RootSiftTop2,
-                        exec: ExecMode::Full,
-                        ..self.cfg.matching
-                    };
-                    // Functional-only scratch sim: timing is accounted above.
-                    let mut scratch = GpuSim::new(spec.clone());
-                    let st = scratch.default_stream();
-                    let out = match_batch(&cfg, block, bsize, m_per, &qblock, &mut scratch, st);
-                    for (i, &id) in w.batch.ids.iter().enumerate() {
-                        ranked.push((id, out.scores[i]));
+                // Kernel + copy durations per query (engine-level
+                // accounting; the serial per-batch pipeline matches
+                // `texid_knn::match_batch`).
+                let mut gemm_us = Vec::with_capacity(nq);
+                let mut sort_us = Vec::with_capacity(nq);
+                let mut d2h_us = Vec::with_capacity(nq);
+                let mut post_us = Vec::with_capacity(nq);
+                for (n, _) in &qblocks {
+                    gemm_us.push(cost::kernel_duration_us(&spec, &Kernel::Gemm {
+                        m_rows: cols,
+                        n_cols: *n,
+                        k_depth: 128,
+                        precision: self.cfg.matching.precision,
+                        tensor_core: self.cfg.matching.tensor_core,
+                    }));
+                    sort_us.push(cost::kernel_duration_us(&spec, &Kernel::Top2Scan {
+                        m_rows: m_per,
+                        n_cols: bsize * n,
+                        precision: self.cfg.matching.precision,
+                    }));
+                    d2h_us.push(cost::d2h_duration_us(
+                        &spec,
+                        (bsize * n) as u64 * D2H_BYTES_PER_QUERY_FEATURE,
+                    ));
+                    post_us.push(cost::cpu_post_us(&spec, bsize));
+                }
+
+                // Functional matching for real batches when numerics are
+                // on. The scratch device comes from the engine pool: at
+                // most one sim is ever created per concurrent worker, and
+                // it is reused across batches and searches (its clock state
+                // does not feed the cost accounting above).
+                let mut scores: Vec<Vec<(u64, usize)>> = vec![Vec::new(); nq];
+                if self.cfg.matching.exec == ExecMode::Full {
+                    if let BatchData::Real(block) = &w.batch.data {
+                        let cfg = MatchConfig {
+                            algorithm: Algorithm::RootSiftTop2,
+                            exec: ExecMode::Full,
+                            ..self.cfg.matching
+                        };
+                        let mut scratch = self
+                            .scratch
+                            .lock()
+                            .pop()
+                            .unwrap_or_else(|| GpuSim::new(spec.clone()));
+                        let st = scratch.default_stream();
+                        for (qi, (_, qblock)) in qblocks.iter().enumerate() {
+                            let out =
+                                match_batch(&cfg, block, bsize, m_per, qblock, &mut scratch, st);
+                            for (i, &id) in w.batch.ids.iter().enumerate() {
+                                scores[qi].push((id, out.scores[i]));
+                            }
+                        }
+                        self.scratch.lock().push(scratch);
                     }
                 }
-            }
-        }
+
+                BatchPartial {
+                    bsize,
+                    tier: w.tier,
+                    h2d_share_us,
+                    gemm_us,
+                    sort_us,
+                    d2h_us,
+                    post_us,
+                    scores,
+                }
+            })
+            .collect();
         drop(work);
 
-        report.serial_total_us =
-            report.h2d_us + report.gemm_us + report.sort_us + report.d2h_us + report.post_us;
-        report.total_us =
-            report.serial_total_us * streams::stream_time_factor(&spec, self.cfg.streams);
-        self.telemetry.observe(&report);
+        // Deterministic merge: fold per-batch partials in batch index
+        // order, per query — field-by-field `+=` in exactly the order the
+        // old serial loop used.
+        let mut results = Vec::with_capacity(nq);
+        for qi in 0..nq {
+            let mut report = SearchReport { coalesced_queries: nq, ..SearchReport::default() };
+            let mut ranked: Vec<(u64, usize)> = Vec::new();
+            for p in &partials {
+                report.images += p.bsize;
+                if p.tier == Tier::Host {
+                    report.host_batches += 1;
+                    report.h2d_us += p.h2d_share_us;
+                } else {
+                    report.device_batches += 1;
+                }
+                report.gemm_us += p.gemm_us[qi];
+                report.sort_us += p.sort_us[qi];
+                report.d2h_us += p.d2h_us[qi];
+                report.post_us += p.post_us[qi];
+                ranked.extend_from_slice(&p.scores[qi]);
+            }
+            report.serial_total_us =
+                report.h2d_us + report.gemm_us + report.sort_us + report.d2h_us + report.post_us;
+            report.total_us =
+                report.serial_total_us * streams::stream_time_factor(&spec, self.cfg.streams);
+            self.telemetry.observe(&report);
 
-        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        SearchResult { ranked, report }
+            ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            results.push(SearchResult { ranked, report });
+        }
+        results
     }
 }
 
@@ -737,5 +862,72 @@ mod tests {
         engine.flush().unwrap();
         // 64 features × 128 dims × 2 B = 16 KiB in the cache.
         assert_eq!(engine.cache_stats().inserted, 1);
+    }
+
+    /// Every field of two reports must agree bit-for-bit (f64s compared by
+    /// bit pattern, not epsilon).
+    fn assert_reports_identical(a: &SearchReport, b: &SearchReport) {
+        assert_eq!(a.images, b.images);
+        assert_eq!(a.device_batches, b.device_batches);
+        assert_eq!(a.host_batches, b.host_batches);
+        assert_eq!(a.coalesced_queries, b.coalesced_queries);
+        for (name, x, y) in [
+            ("h2d_us", a.h2d_us, b.h2d_us),
+            ("gemm_us", a.gemm_us, b.gemm_us),
+            ("sort_us", a.sort_us, b.sort_us),
+            ("d2h_us", a.d2h_us, b.d2h_us),
+            ("post_us", a.post_us, b.post_us),
+            ("serial_total_us", a.serial_total_us, b.serial_total_us),
+            ("total_us", a.total_us, b.total_us),
+        ] {
+            assert_eq!(x.to_bits(), y.to_bits(), "{name} differs: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn concurrent_searches_bit_identical_to_serial() {
+        let mut engine = tiny_engine(4, 2);
+        for id in 0..10u64 {
+            engine.add_reference(id, &features(id, 128)).unwrap();
+        }
+        engine.flush().unwrap();
+        let queries: Vec<FeatureMatrix> = (0..4).map(|i| features(100 + i, 256)).collect();
+
+        let serial: Vec<SearchResult> = queries.iter().map(|q| engine.search(q)).collect();
+
+        // The same queries from concurrent threads over &self: rankings
+        // AND every cost-report field must match the serial run exactly.
+        let engine = &engine;
+        for _round in 0..3 {
+            let concurrent: Vec<SearchResult> = std::thread::scope(|s| {
+                let handles: Vec<_> =
+                    queries.iter().map(|q| s.spawn(move || engine.search(q))).collect();
+                handles.into_iter().map(|h| h.join().expect("searcher")).collect()
+            });
+            for (a, b) in serial.iter().zip(&concurrent) {
+                assert_eq!(a.ranked, b.ranked, "concurrent ranking diverged");
+                assert_reports_identical(&a.report, &b.report);
+            }
+        }
+    }
+
+    #[test]
+    fn search_many_matches_per_query_rankings() {
+        let mut engine = tiny_engine(4, 1);
+        for id in 0..10u64 {
+            engine.add_reference(id, &features(id, 128)).unwrap();
+        }
+        engine.flush().unwrap();
+        let queries: Vec<FeatureMatrix> = (0..3).map(|i| features(200 + i, 256)).collect();
+        let refs: Vec<&FeatureMatrix> = queries.iter().collect();
+
+        let merged = engine.search_many(&refs);
+        assert_eq!(merged.len(), 3);
+        for (q, m) in queries.iter().zip(&merged) {
+            let solo = engine.search(q);
+            assert_eq!(solo.ranked, m.ranked, "coalesced ranking diverged from solo search");
+            assert_eq!(m.report.coalesced_queries, 3);
+            assert_eq!(solo.report.coalesced_queries, 1);
+        }
     }
 }

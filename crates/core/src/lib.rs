@@ -21,9 +21,11 @@
 //! cache capacity model behind Fig. 1 and §8.
 
 pub mod capacity;
+pub mod coalesce;
 pub mod engine;
 pub mod eval;
 pub mod metrics;
 
+pub use coalesce::{CoalesceConfig, Coalescer};
 pub use engine::{Engine, EngineConfig, SearchReport, SearchResult};
 pub use eval::{build_dataset, compression_error, top1_accuracy, Dataset, EvalConfig};

@@ -30,11 +30,12 @@
 use crate::faults::{Backoff, FaultKind, FaultOp, FaultPlan};
 use crate::kv::KvStore;
 use crate::wire;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
 use texid_cache::CacheError;
-use texid_core::{Engine, EngineConfig, SearchReport};
+use texid_core::{CoalesceConfig, Coalescer, Engine, EngineConfig, SearchReport};
 use texid_gpu::{DeviceSpec, GpuSim};
 use texid_knn::geometry::{verify_matches, RansacParams};
 use texid_knn::{match_pair, ExecMode, FeatureBlock, MatchConfig};
@@ -61,6 +62,7 @@ struct Telemetry {
     shard_skips: Vec<Counter>,
     breaker_state: Vec<Gauge>,
     shard_latency: Vec<Histogram>,
+    shard_lock_wait: Vec<Histogram>,
     schedule_efficiency: Gauge,
     achieved_tflops: Gauge,
     gpu_efficiency: Gauge,
@@ -73,6 +75,7 @@ impl Telemetry {
         let mut shard_skips = Vec::with_capacity(containers);
         let mut breaker_state = Vec::with_capacity(containers);
         let mut shard_latency = Vec::with_capacity(containers);
+        let mut shard_lock_wait = Vec::with_capacity(containers);
         for i in 0..containers {
             let shard = i.to_string();
             let labels = [("shard", shard.as_str())];
@@ -98,6 +101,11 @@ impl Telemetry {
                 "Per-shard scatter-gather leg latency (simulated wall microseconds).",
                 &labels,
             ));
+            shard_lock_wait.push(reg.histogram(
+                "texid_shard_lock_wait_us",
+                "Wall microseconds a search leg spent acquiring this shard's engine lock.",
+                &labels,
+            ));
         }
         Telemetry {
             searches: reg.counter(
@@ -119,6 +127,7 @@ impl Telemetry {
             shard_skips,
             breaker_state,
             shard_latency,
+            shard_lock_wait,
             schedule_efficiency: reg.gauge(
                 "texid_schedule_efficiency",
                 "Eq. 4: per-GPU achieved speed over the PCIe-bound theoretical speed, last search.",
@@ -169,6 +178,9 @@ pub struct ClusterConfig {
     pub engine: EngineConfig,
     /// Failure handling.
     pub resilience: ResilienceConfig,
+    /// Per-shard query coalescing (continuous batching of concurrent
+    /// searches into one multi-query cache sweep).
+    pub coalesce: CoalesceConfig,
 }
 
 impl Default for ClusterConfig {
@@ -177,6 +189,7 @@ impl Default for ClusterConfig {
             containers: 14,
             engine: EngineConfig::default(),
             resilience: ResilienceConfig::default(),
+            coalesce: CoalesceConfig::default(),
         }
     }
 }
@@ -426,10 +439,18 @@ enum Gathered {
     Answered(Vec<(u64, usize)>, SearchReport),
 }
 
+/// One GPU container: its engine behind a read/write lock (searches share
+/// the read side; `add_reference`/`flush`/recovery take the write side)
+/// plus the shard's query coalescer.
+struct Shard {
+    engine: RwLock<Engine>,
+    coalescer: Coalescer,
+}
+
 /// The distributed search system.
 pub struct Cluster {
     cfg: ClusterConfig,
-    shards: Vec<Mutex<Engine>>,
+    shards: Vec<Shard>,
     store: KvStore,
     shard_of: Mutex<HashMap<u64, usize>>,
     /// External id -> live internal key. Engines index by *internal* keys
@@ -438,8 +459,8 @@ pub struct Cluster {
     live_key: Mutex<HashMap<u64, u64>>,
     /// Internal key -> external id (for translating search results).
     external_of: Mutex<HashMap<u64, u64>>,
-    next_key: Mutex<u64>,
-    next_rr: Mutex<usize>,
+    next_key: AtomicU64,
+    next_rr: AtomicUsize,
     shard_health: Mutex<Vec<ShardState>>,
     fault_plan: Option<FaultPlan>,
     total_searches: AtomicU64,
@@ -471,7 +492,10 @@ impl Cluster {
     ) -> Cluster {
         assert!(cfg.containers >= 1, "need at least one container");
         let shards = (0..cfg.containers)
-            .map(|_| Mutex::new(Engine::new(cfg.engine.clone())))
+            .map(|_| Shard {
+                engine: RwLock::new(Engine::new(cfg.engine.clone())),
+                coalescer: Coalescer::with_registry(cfg.coalesce, registry),
+            })
             .collect();
         let shard_health = (0..cfg.containers).map(|_| ShardState::default()).collect();
         let telemetry = Telemetry::register(registry, cfg.containers);
@@ -482,8 +506,8 @@ impl Cluster {
             shard_of: Mutex::new(HashMap::new()),
             live_key: Mutex::new(HashMap::new()),
             external_of: Mutex::new(HashMap::new()),
-            next_key: Mutex::new(0),
-            next_rr: Mutex::new(0),
+            next_key: AtomicU64::new(0),
+            next_rr: AtomicUsize::new(0),
             shard_health: Mutex::new(shard_health),
             fault_plan,
             total_searches: AtomicU64::new(0),
@@ -647,20 +671,12 @@ impl Cluster {
     pub fn add_texture(&self, id: u64, features: &FeatureMatrix) -> Result<(), ClusterError> {
         // Persist first (the paper's Redis holds the authoritative copy).
         self.store_set(&Self::key(id), wire::encode_features(features))?;
-        // Allocate round-robin and index under a fresh internal key.
-        let shard = {
-            let mut rr = self.next_rr.lock();
-            let s = *rr % self.shards.len();
-            *rr += 1;
-            s
-        };
-        let key = {
-            let mut nk = self.next_key.lock();
-            let k = *nk;
-            *nk += 1;
-            k
-        };
-        self.shards[shard].lock().add_reference(key, features)?;
+        // Allocate round-robin and index under a fresh internal key. Both
+        // allocators are single atomic fetch-adds — the ingest path never
+        // serializes on a mutex just to draw a number.
+        let shard = self.next_rr.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        let key = self.next_key.fetch_add(1, Ordering::Relaxed);
+        self.shards[shard].engine.write().add_reference(key, features)?;
         self.shard_of.lock().insert(id, shard);
         self.live_key.lock().insert(id, key);
         self.external_of.lock().insert(key, id);
@@ -880,10 +896,24 @@ impl Cluster {
                                 if crash {
                                     panic!("injected shard crash (fault plan)");
                                 }
-                                let mut engine = shard.lock();
-                                // Seal any pending partial batch so it is searchable.
-                                engine.flush()?;
-                                let mut r = engine.search(query);
+                                // Seal any pending partial batch so it is
+                                // searchable. The steady state takes only
+                                // the shared read lock; the write lock is
+                                // acquired just when references actually
+                                // arrived since the last flush.
+                                let wait = Instant::now();
+                                let needs_flush = shard.engine.read().has_pending();
+                                let mut wait_us = wait.elapsed().as_secs_f64() * 1e6;
+                                if needs_flush {
+                                    let wait = Instant::now();
+                                    let mut engine = shard.engine.write();
+                                    wait_us += wait.elapsed().as_secs_f64() * 1e6;
+                                    engine.flush()?;
+                                }
+                                self.telemetry.shard_lock_wait[i].observe(wait_us);
+                                // Concurrent searches coalesce into one
+                                // multi-query sweep under a shared read lock.
+                                let mut r = shard.coalescer.search(&shard.engine, query);
                                 if let Some(factor) = straggle {
                                     r.report.total_us *= factor;
                                     r.report.serial_total_us *= factor;
@@ -1067,7 +1097,7 @@ impl Cluster {
             }
         }
         engine.flush()?;
-        *self.shards[shard].lock() = engine;
+        *self.shards[shard].engine.write() = engine;
         self.shard_health.lock()[shard].record_success();
         self.telemetry.breaker_state[shard].set(breaker_gauge_value(ShardHealth::Healthy));
         Ok(report)
@@ -1357,7 +1387,7 @@ mod tests {
         let before = cluster.search(&query_for(6), 3);
 
         // Simulate a container crash: wipe shard 0.
-        *cluster.shards[0].lock() = Engine::new(cluster.cfg.engine.clone());
+        *cluster.shards[0].engine.write() = Engine::new(cluster.cfg.engine.clone());
         let degraded = cluster.search(&query_for(6), 3);
 
         let recovery = cluster.recover_container(0).unwrap();
@@ -1472,6 +1502,64 @@ mod tests {
         assert_eq!(health[0].health, ShardHealth::Healthy);
         assert_eq!(health[0].probes, 1);
         assert_eq!(health[0].total_failures, 3);
+    }
+
+    #[test]
+    fn degraded_scatter_gather_under_concurrent_load() {
+        // Shard 0 crashes on every leg while several clients search
+        // concurrently (through the shard RwLocks and the per-shard
+        // coalescer): every response must be flagged degraded, carry only
+        // the healthy shard's results, and never mix shards up.
+        let clients = 4u64;
+        let searches_per_client = 2u64;
+        let mut plan = FaultPlan::new(11);
+        for _ in 0..clients * searches_per_client {
+            plan = plan.crash_shard_after(0, 0);
+        }
+        let cfg = ClusterConfig {
+            // Keep the breaker out of the picture: every leg fails, none
+            // gets skipped.
+            resilience: ResilienceConfig {
+                trip_threshold: 1000,
+                ..ResilienceConfig::default()
+            },
+            ..small_config(2)
+        };
+        let cluster = Cluster::with_faults(cfg, Some(plan));
+        for id in 0..4u64 {
+            cluster.add_texture(id, &features(id, 128)).unwrap();
+        }
+
+        // Round-robin placement: even ids on shard 0 (crashed), odd ids on
+        // shard 1 (healthy).
+        let queries: Vec<FeatureMatrix> = (0..clients).map(query_for).collect();
+        let cluster_ref = &cluster;
+        let outs: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = queries
+                .iter()
+                .map(|q| {
+                    s.spawn(move || {
+                        (0..searches_per_client)
+                            .map(|_| cluster_ref.search(q, 4))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("client")).collect()
+        });
+
+        assert_eq!(outs.len(), (clients * searches_per_client) as usize);
+        for out in &outs {
+            assert!(out.degraded, "crashed shard must mark the response degraded");
+            assert_eq!(out.shards_failed, 1);
+            assert_eq!(out.shards_ok, 1);
+            assert_eq!(out.results.len(), 2, "healthy shard holds 2 references");
+            assert!(
+                out.results.iter().all(|(id, _)| id % 2 == 1),
+                "only shard 1's (odd) ids may appear: {:?}",
+                out.results
+            );
+        }
     }
 
     #[test]

@@ -2,18 +2,23 @@
 //!
 //! Just enough protocol for the REST API containers of Fig. 6: request-line
 //! plus headers plus `Content-Length` bodies, `Connection: close` semantics,
-//! one thread per connection. No TLS, chunking, or keep-alive — deliberately
-//! small, fully tested.
+//! served by a **bounded worker pool** behind an accept queue. No TLS,
+//! chunking, or keep-alive — deliberately small, fully tested.
 //!
 //! Hardening: request bodies are capped at [`MAX_BODY_BYTES`] (the server
-//! answers 413 instead of allocating attacker-controlled sizes), and every
+//! answers 413 instead of allocating attacker-controlled sizes), every
 //! accepted connection gets read/write timeouts so a stalled peer cannot
-//! pin a handler thread forever.
+//! pin a handler thread forever, and concurrency is bounded — a burst of
+//! clients beyond [`PoolConfig::workers`] waits in a queue of at most
+//! [`PoolConfig::queue_depth`] connections, beyond which the server sheds
+//! load with an immediate 503 instead of spawning unbounded threads. Queue
+//! occupancy is exported as the `texid_search_queue_depth` gauge.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Largest accepted request body. A full 384-feature matrix is ~200 KiB on
@@ -226,56 +231,133 @@ pub fn write_response_opts(
     Ok(())
 }
 
+/// Worker-pool sizing for [`HttpServer`].
+#[derive(Clone, Copy, Debug)]
+pub struct PoolConfig {
+    /// Handler threads serving requests concurrently.
+    pub workers: usize,
+    /// Accepted connections allowed to wait for a free worker; beyond
+    /// this the server answers 503 immediately (load shedding).
+    pub queue_depth: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig { workers: 8, queue_depth: 64 }
+    }
+}
+
+/// Serve one accepted connection: parse, dispatch, respond.
+fn serve_connection(mut stream: TcpStream, handler: &(dyn Fn(&Request) -> Response + Send + Sync)) {
+    // A stalled or malicious peer only costs this worker IO_TIMEOUT,
+    // never an unbounded hang.
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let mut is_head = false;
+    let resp = match read_request(&mut stream) {
+        Ok(Some(req)) => {
+            is_head = req.method == "HEAD";
+            handler(&req)
+        }
+        Ok(None) => return,
+        Err(RequestError::TooLarge { .. }) => {
+            Response::json(413, r#"{"error":"request body too large"}"#.to_string())
+        }
+        Err(RequestError::Io(_)) => return,
+    };
+    // HEAD gets the same status line, headers, and Content-Length as the
+    // GET would — minus the body.
+    let _ = write_response_opts(&mut stream, &resp, !is_head);
+    let _ = stream.flush();
+}
+
 /// A running HTTP server; dropped or `stop()`ed, it shuts down.
 pub struct HttpServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     handle: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl HttpServer {
     /// Bind `addr` (use port 0 for an ephemeral port) and serve `handler`
-    /// on a background accept loop, one thread per connection.
+    /// with the default worker pool ([`PoolConfig::default`]).
     pub fn spawn(
         addr: &str,
         handler: Arc<dyn Fn(&Request) -> Response + Send + Sync>,
     ) -> std::io::Result<HttpServer> {
+        HttpServer::spawn_pooled(addr, handler, PoolConfig::default())
+    }
+
+    /// [`HttpServer::spawn`] with explicit pool sizing: a background accept
+    /// loop feeds a bounded queue drained by `pool.workers` handler
+    /// threads. A connection arriving with the queue full is answered 503
+    /// from the accept thread instead of waiting unboundedly.
+    ///
+    /// # Panics
+    /// Panics if `pool.workers` is zero.
+    pub fn spawn_pooled(
+        addr: &str,
+        handler: Arc<dyn Fn(&Request) -> Response + Send + Sync>,
+        pool: PoolConfig,
+    ) -> std::io::Result<HttpServer> {
+        assert!(pool.workers >= 1, "need at least one worker");
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let flag = shutdown.clone();
+
+        let (tx, rx) = sync_channel::<TcpStream>(pool.queue_depth.max(1));
+        let rx: Arc<Mutex<Receiver<TcpStream>>> = Arc::new(Mutex::new(rx));
+        let depth = Arc::new(AtomicUsize::new(0));
+        let depth_gauge = texid_obs::global().gauge(
+            "texid_search_queue_depth",
+            "Accepted connections queued for a free HTTP worker thread.",
+            &[],
+        );
+
+        let workers = (0..pool.workers)
+            .map(|_| {
+                let rx = rx.clone();
+                let handler = handler.clone();
+                let depth = depth.clone();
+                let gauge = depth_gauge.clone();
+                std::thread::spawn(move || loop {
+                    // Hold the receiver lock only for the pop, never while
+                    // serving, so workers drain the queue concurrently.
+                    let conn = { rx.lock().expect("queue lock").recv() };
+                    let Ok(stream) = conn else { break };
+                    gauge.set(depth.fetch_sub(1, Ordering::Relaxed).saturating_sub(1) as f64);
+                    serve_connection(stream, handler.as_ref());
+                })
+            })
+            .collect();
+
         let handle = std::thread::spawn(move || {
             for conn in listener.incoming() {
                 if flag.load(Ordering::SeqCst) {
                     break;
                 }
-                let Ok(mut stream) = conn else { continue };
-                let handler = handler.clone();
-                std::thread::spawn(move || {
-                    // A stalled or malicious peer only costs this thread
-                    // IO_TIMEOUT, never an unbounded hang.
-                    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
-                    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
-                    let mut is_head = false;
-                    let resp = match read_request(&mut stream) {
-                        Ok(Some(req)) => {
-                            is_head = req.method == "HEAD";
-                            handler(&req)
-                        }
-                        Ok(None) => return,
-                        Err(RequestError::TooLarge { .. }) => {
-                            Response::json(413, r#"{"error":"request body too large"}"#.to_string())
-                        }
-                        Err(RequestError::Io(_)) => return,
-                    };
-                    // HEAD gets the same status line, headers, and
-                    // Content-Length as the GET would — minus the body.
-                    let _ = write_response_opts(&mut stream, &resp, !is_head);
-                    let _ = stream.flush();
-                });
+                let Ok(stream) = conn else { continue };
+                depth_gauge.set(depth.fetch_add(1, Ordering::Relaxed) as f64 + 1.0);
+                match tx.try_send(stream) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(mut stream)) => {
+                        // Queue full: shed load right here rather than
+                        // letting the backlog grow without bound.
+                        depth_gauge.set(depth.fetch_sub(1, Ordering::Relaxed) as f64 - 1.0);
+                        let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+                        let resp =
+                            Response::json(503, r#"{"error":"server overloaded"}"#.to_string())
+                                .with_header("Retry-After", "1");
+                        let _ = write_response(&mut stream, &resp);
+                    }
+                    Err(TrySendError::Disconnected(_)) => break,
+                }
             }
+            // Dropping `tx` here wakes every idle worker out of recv().
         });
-        Ok(HttpServer { addr: local, shutdown, handle: Some(handle) })
+        Ok(HttpServer { addr: local, shutdown, handle: Some(handle), workers })
     }
 
     /// The bound address.
@@ -283,13 +365,16 @@ impl HttpServer {
         self.addr
     }
 
-    /// Stop accepting and join the accept loop.
+    /// Stop accepting, drain the pool, and join all threads.
     pub fn stop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         // Unblock the accept loop with a dummy connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
         }
     }
 }
@@ -442,6 +527,71 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn pool_bounds_concurrency_and_sheds_load() {
+        // One worker, one queue slot, a handler that blocks until released:
+        // the third concurrent connection must be turned away with 503.
+        let gate = Arc::new((Mutex::new(false), std::sync::Condvar::new()));
+        let server = {
+            let gate = gate.clone();
+            HttpServer::spawn_pooled(
+                "127.0.0.1:0",
+                Arc::new(move |_req: &Request| {
+                    let (lock, cv) = &*gate;
+                    let mut open = lock.lock().unwrap();
+                    while !*open {
+                        open = cv.wait(open).unwrap();
+                    }
+                    Response::json(200, "{}".to_string())
+                }),
+                PoolConfig { workers: 1, queue_depth: 1 },
+            )
+            .unwrap()
+        };
+        let addr = server.addr();
+        // Four concurrent clients against capacity 2 (1 worker + 1 queue
+        // slot). While the gate is closed an admitted request cannot
+        // complete, so the only responses that can arrive are 503s from the
+        // accept loop. At least two connections must be shed (2 > capacity);
+        // a third is shed too if the worker thread has not dequeued its
+        // first connection yet. Wait for the shed responses, open the gate,
+        // and the admitted remainder must all finish 200.
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<Response>();
+        for i in 0..4 {
+            let done_tx = done_tx.clone();
+            std::thread::spawn(move || {
+                done_tx.send(http_call(addr, "GET", &format!("/c{i}"), b"").unwrap()).unwrap();
+            });
+        }
+        drop(done_tx);
+        let mut shed = 0usize;
+        while shed < 2 {
+            let resp = done_rx.recv_timeout(Duration::from_secs(30)).expect("shed response");
+            assert_eq!(resp.status, 503, "{}", resp.text());
+            assert_eq!(resp.header("retry-after"), Some("1"));
+            shed += 1;
+        }
+        // One more connection may have raced the worker startup and been
+        // shed as well; give it a moment to surface.
+        if let Ok(resp) = done_rx.recv_timeout(Duration::from_secs(2)) {
+            assert_eq!(resp.status, 503, "{}", resp.text());
+            shed += 1;
+        }
+        assert!(shed == 2 || shed == 3, "shed {shed} of 4 at capacity 2");
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        let mut admitted = 0usize;
+        while admitted + shed < 4 {
+            let resp = done_rx.recv_timeout(Duration::from_secs(30)).expect("admitted response");
+            assert_eq!(resp.status, 200, "{}", resp.text());
+            admitted += 1;
+        }
+        assert!(admitted >= 1, "at least the worker-held connection succeeds");
     }
 
     #[test]

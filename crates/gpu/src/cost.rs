@@ -182,6 +182,20 @@ pub fn h2d_duration_us(spec: &DeviceSpec, bytes: u64, pinned: bool) -> f64 {
     c.dma_latency_us + bytes as f64 / (bw * 1e9) * 1e6
 }
 
+/// Per-query share of a host→device copy amortized over `queries`
+/// coalesced queries, µs.
+///
+/// Query coalescing moves a host-resident reference batch across PCIe
+/// *once* and matches every in-flight query against it — the continuous
+/// batching symmetric to §5.2's reference batching. Each of the `queries`
+/// reports is charged an equal share, so summing shares across the
+/// coalesced group recovers the single copy's cost. With `queries == 1`
+/// this is exactly [`h2d_duration_us`] (division by 1.0 is bit-exact), so
+/// an uncoalesced search report is unchanged.
+pub fn h2d_amortized_us(spec: &DeviceSpec, bytes: u64, pinned: bool, queries: usize) -> f64 {
+    h2d_duration_us(spec, bytes, pinned) / queries.max(1) as f64
+}
+
 /// Duration of a device→host copy, µs.
 pub fn d2h_duration_us(spec: &DeviceSpec, bytes: u64) -> f64 {
     let c = &spec.calib;
@@ -209,6 +223,19 @@ mod tests {
 
     fn within(actual: f64, expected: f64, tol: f64) -> bool {
         (actual - expected).abs() <= expected * tol
+    }
+
+    #[test]
+    fn amortized_h2d_shares_one_copy() {
+        let spec = p100();
+        let full = h2d_duration_us(&spec, 64 << 20, true);
+        // Q = 1 must be bit-identical to the unamortized cost.
+        assert_eq!(h2d_amortized_us(&spec, 64 << 20, true, 1).to_bits(), full.to_bits());
+        assert_eq!(h2d_amortized_us(&spec, 64 << 20, true, 0).to_bits(), full.to_bits());
+        // Q shares sum back to the single copy.
+        let share = h2d_amortized_us(&spec, 64 << 20, true, 16);
+        assert!(within(share * 16.0, full, 1e-12));
+        assert!(share < full / 8.0);
     }
 
     // ---- Paper anchor reproduction (Table 1) ----

@@ -68,8 +68,8 @@ fn fp16_and_fp32_engines_agree() {
         e.flush().unwrap();
         e
     };
-    let mut f32_engine = build(Precision::F32);
-    let mut f16_engine = build(Precision::F16);
+    let f32_engine = build(Precision::F32);
+    let f16_engine = build(Precision::F16);
 
     for trial in 0..3u64 {
         let q = query_features(trial, 50 + trial);
