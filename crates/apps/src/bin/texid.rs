@@ -9,6 +9,8 @@
 //! texid trace    [--streams 4] [--chunks 16] --out t.trace.json   export a Perfetto timeline
 //! texid bench kernels [--quick] [--check]                  CPU kernel GFLOP/s -> BENCH_kernels.json
 //! texid bench throughput [--quick] [--check]               serving imgs/s -> BENCH_throughput.json
+//! texid store inspect --dir DIR                            scan a durable volume, report damage
+//! texid store compact --dir DIR                            replay + snapshot + truncate the WAL
 //! ```
 //!
 //! Feature files use the crate's protobuf-style wire format; images are
@@ -83,6 +85,7 @@ fn main() -> ExitCode {
         "capacity" => cmd_capacity(),
         "trace" => cmd_trace(&args),
         "bench" => cmd_bench(argv.get(1).map(String::as_str), &args),
+        "store" => cmd_store(argv.get(1).map(String::as_str), &args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -106,7 +109,9 @@ const USAGE: &str = "usage:
   texid capacity
   texid trace    [--streams 4] [--chunks 16] [--batch 64] [--out pipeline.trace.json]
   texid bench kernels [--quick] [--check] [--out BENCH_kernels.json]
-  texid bench throughput [--quick] [--check] [--out BENCH_throughput.json]";
+  texid bench throughput [--quick] [--check] [--out BENCH_throughput.json]
+  texid store inspect --dir DIR
+  texid store compact --dir DIR";
 
 fn cmd_gen(args: &Args) -> Result<(), String> {
     let count = args.get_usize("count", 12);
@@ -323,6 +328,50 @@ fn cmd_bench(target: Option<&str>, args: &Args) -> Result<(), String> {
     if args.has("check") {
         texid_bench::kernels::check_guard(&report, 0.9)?;
         println!("check passed: packed >= 0.9x flat GFLOP/s at the largest shape, both precisions");
+    }
+    Ok(())
+}
+
+fn cmd_store(action: Option<&str>, args: &Args) -> Result<(), String> {
+    use texid_store::{DurableLog, LogConfig, SnapshotFault, Volume};
+    let action = match action {
+        Some(a @ ("inspect" | "compact")) => a,
+        other => {
+            return Err(format!(
+                "unknown store action {other:?} — 'inspect' and 'compact' are available\n{USAGE}"
+            ))
+        }
+    };
+    let dir = PathBuf::from(args.require("dir")?);
+    let volume = Volume::in_dir(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let log = DurableLog::new(volume, LogConfig::default());
+    let (map, replay) = log.replay().map_err(|e| format!("replay: {e}"))?;
+
+    println!("volume {}", dir.display());
+    match &replay.snapshot_error {
+        Some(err) => println!("  snapshot: UNREADABLE ({err}) — recovered from WAL alone"),
+        None => println!("  snapshot: {} entries", replay.snapshot_entries),
+    }
+    println!(
+        "  wal: {} records applied over {} bytes ({} corrupt skipped, {} torn tail bytes)",
+        replay.wal_records_applied,
+        replay.wal_bytes_scanned,
+        replay.wal_corrupt_skipped,
+        replay.wal_torn_tail_bytes
+    );
+    let value_bytes: usize = map.values().map(Vec::len).sum();
+    println!("  recovered state: {} keys, {} value bytes", map.len(), value_bytes);
+    if replay.damaged() {
+        println!("  DAMAGE DETECTED — records above were quarantined, not silently replayed");
+    }
+
+    if action == "compact" {
+        log.write_snapshot(&map, SnapshotFault::Clean).map_err(|e| format!("compact: {e}"))?;
+        let stats = log.stats();
+        println!(
+            "compacted: snapshot {} bytes, wal truncated to {} bytes",
+            stats.snapshot_bytes, stats.wal_bytes
+        );
     }
     Ok(())
 }

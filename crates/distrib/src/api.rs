@@ -292,9 +292,22 @@ fn route(
         }
         ("GET", ["stats"]) => {
             let s = cluster.stats();
+            let wal = match &s.wal {
+                Some(w) => Json::obj([
+                    ("appends", Json::Num(w.appends as f64)),
+                    ("lost_appends", Json::Num(w.lost_appends as f64)),
+                    ("torn_appends", Json::Num(w.torn_appends as f64)),
+                    ("snapshots", Json::Num(w.snapshots as f64)),
+                    ("since_snapshot", Json::Num(w.since_snapshot as f64)),
+                    ("wal_bytes", Json::Num(w.wal_bytes as f64)),
+                    ("snapshot_bytes", Json::Num(w.snapshot_bytes as f64)),
+                ]),
+                None => Json::Null,
+            };
             Response::json(
                 200,
                 Json::obj([
+                    ("wal", wal),
                     ("containers", Json::Num(s.containers as f64)),
                     ("textures", Json::Num(s.textures as f64)),
                     ("store_bytes", Json::Num(s.store_bytes as f64)),
@@ -342,28 +355,84 @@ fn route(
                     })
                     .collect(),
             );
+            // Durability posture rides along so "shard won't heal" triage
+            // starts from one endpoint (OBSERVABILITY.md runbook).
+            let store = match cluster.store().wal_stats() {
+                Some(w) => Json::obj([
+                    ("durable", Json::Bool(true)),
+                    ("wal_appends", Json::Num(w.appends as f64)),
+                    ("wal_bytes", Json::Num(w.wal_bytes as f64)),
+                    ("snapshots", Json::Num(w.snapshots as f64)),
+                ]),
+                None => Json::obj([("durable", Json::Bool(false))]),
+            };
             Response::json(
                 status,
                 Json::obj([
                     ("status", Json::Str(verdict.to_string())),
+                    ("store", store),
                     ("shards", shard_list),
                 ])
                 .to_string(),
             )
         }
-        ("POST", ["heal"]) => match cluster.heal() {
-            Ok(r) => Response::json(
-                200,
-                Json::obj([
-                    ("healed", Json::Arr(r.healed.iter().map(|s| Json::Num(*s as f64)).collect())),
-                    ("restored", Json::Num(r.restored as f64)),
-                    (
-                        "quarantined",
-                        Json::Arr(r.quarantined.iter().map(|id| Json::Num(*id as f64)).collect()),
-                    ),
-                ])
-                .to_string(),
-            ),
+        ("POST", ["heal"]) => match cluster.heal_traced(Some(ctx)) {
+            Ok(r) => {
+                let shards = Json::Arr(
+                    r.shards
+                        .iter()
+                        .map(|s| {
+                            Json::obj([
+                                ("shard", Json::Num(s.shard as f64)),
+                                ("records_replayed", Json::Num(s.records_replayed as f64)),
+                                ("records_quarantined", Json::Num(s.records_quarantined as f64)),
+                                ("replay_wall_us", Json::Num(s.replay_wall_us)),
+                            ])
+                        })
+                        .collect(),
+                );
+                let quarantined = Json::Arr(
+                    r.quarantined
+                        .iter()
+                        .map(|q| {
+                            Json::obj([
+                                ("id", Json::Num(q.id as f64)),
+                                ("reason", Json::Str(q.reason.as_str().to_string())),
+                            ])
+                        })
+                        .collect(),
+                );
+                let replay = match &r.replay {
+                    Some(s) => Json::obj([
+                        ("snapshot_entries", Json::Num(s.snapshot_entries as f64)),
+                        (
+                            "snapshot_error",
+                            s.snapshot_error
+                                .as_ref()
+                                .map_or(Json::Null, |e| Json::Str(e.clone())),
+                        ),
+                        ("wal_records_applied", Json::Num(s.wal_records_applied as f64)),
+                        ("wal_corrupt_skipped", Json::Num(s.wal_corrupt_skipped as f64)),
+                        ("wal_torn_tail_bytes", Json::Num(s.wal_torn_tail_bytes as f64)),
+                        ("wal_bytes_scanned", Json::Num(s.wal_bytes_scanned as f64)),
+                    ]),
+                    None => Json::Null,
+                };
+                Response::json(
+                    200,
+                    Json::obj([
+                        (
+                            "healed",
+                            Json::Arr(r.healed.iter().map(|s| Json::Num(*s as f64)).collect()),
+                        ),
+                        ("restored", Json::Num(r.restored as f64)),
+                        ("quarantined", quarantined),
+                        ("shards", shards),
+                        ("replay", replay),
+                    ])
+                    .to_string(),
+                )
+            }
             Err(e) => cluster_err(e),
         },
         ("GET", ["trace", id]) => {
@@ -591,6 +660,64 @@ mod tests {
         let resp = http_call(addr, "PATCH", "/nope", b"").unwrap();
         assert_eq!(resp.status, 404);
         assert_eq!(resp.header("allow"), None);
+    }
+
+    #[test]
+    fn heal_reports_replay_stats_and_wal_rides_stats_and_health() {
+        use crate::faults::FaultPlan;
+
+        // 4 ids round-robin over 2 shards; id 3 lands on shard 1. Tear its
+        // WAL append (the final one) and crash shard 1 on the next search.
+        let plan = FaultPlan::new(88).tear_wal_append_after(3).crash_shard(1);
+        let cluster = Arc::new(Cluster::with_faults(test_config(), Some(plan)));
+        let server = serve(cluster, "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        for id in 0..4u64 {
+            let body = format!(r#"{{"id": {id}, "features": "{}"}}"#, features_b64(id, 128));
+            assert_eq!(http_call(addr, "POST", "/textures", body.as_bytes()).unwrap().status, 201);
+        }
+
+        // /stats carries the WAL counters while the store is durable.
+        let stats = http_call(addr, "GET", "/stats", b"").unwrap();
+        let v = parse(&stats.text()).unwrap();
+        let wal = v.get("wal").expect("durable store exposes wal stats");
+        assert_eq!(wal.get("appends").and_then(Json::as_u64), Some(4), "{}", stats.text());
+        assert_eq!(wal.get("torn_appends").and_then(Json::as_u64), Some(1), "{}", stats.text());
+
+        // /health reports durability posture.
+        let health = http_call(addr, "GET", "/health", b"").unwrap();
+        let v = parse(&health.text()).unwrap();
+        let store = v.get("store").expect("health exposes store section");
+        assert_eq!(store.get("durable"), Some(&Json::Bool(true)), "{}", health.text());
+
+        // Crash the shard, then heal over REST and check the replay body.
+        let body = format!(r#"{{"features": "{}", "top": 2}}"#, features_b64(0, 256));
+        let resp = http_call(addr, "POST", "/search", body.as_bytes()).unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(resp.text().contains(r#""degraded":true"#), "{}", resp.text());
+
+        let resp = http_call(addr, "POST", "/heal", b"").unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        let v = parse(&resp.text()).unwrap();
+        let text = resp.text();
+        assert_eq!(v.get("restored").and_then(Json::as_u64), Some(1), "{text}");
+        let quarantined = v.get("quarantined").unwrap().as_arr().unwrap();
+        assert_eq!(quarantined.len(), 1, "{text}");
+        assert_eq!(quarantined[0].get("id").and_then(Json::as_u64), Some(3), "{text}");
+        assert_eq!(quarantined[0].get("reason").and_then(Json::as_str), Some("missing"), "{text}");
+        let shards = v.get("shards").unwrap().as_arr().unwrap();
+        assert_eq!(shards.len(), 1, "{text}");
+        assert_eq!(shards[0].get("shard").and_then(Json::as_u64), Some(1), "{text}");
+        assert_eq!(shards[0].get("records_replayed").and_then(Json::as_u64), Some(1), "{text}");
+        assert_eq!(shards[0].get("records_quarantined").and_then(Json::as_u64), Some(1), "{text}");
+        let replay = v.get("replay").expect("durable heal carries replay stats");
+        assert_eq!(replay.get("wal_records_applied").and_then(Json::as_u64), Some(3), "{text}");
+        assert!(replay.get("wal_torn_tail_bytes").and_then(Json::as_u64).unwrap() > 0, "{text}");
+        assert_eq!(replay.get("snapshot_error"), Some(&Json::Null), "{text}");
+
+        // The torn id is gone; the healed shard serves the rest.
+        assert_eq!(http_call(addr, "GET", "/textures/3", b"").unwrap().status, 404);
+        assert_eq!(http_call(addr, "GET", "/textures/1", b"").unwrap().status, 200);
     }
 
     #[test]

@@ -26,6 +26,18 @@
 //! [`Cluster::heal`] rebuilds every unhealthy shard from the feature store,
 //! quarantining entries whose stored bytes are lost or corrupt. Fault
 //! injection is deterministic and seeded — see [`crate::faults`].
+//!
+//! # Durability & replay-based heal (DESIGN.md §12)
+//!
+//! The feature store is durable by default ([`StoreConfig`]): every write
+//! is journaled to a CRC32C-checksummed write-ahead log and periodically
+//! compacted into a checksummed snapshot (`texid-store`). When `heal()`
+//! finds unhealthy shards it first **replays** the store strictly from
+//! that durable media — writes the fault plan tore or lost before fsync
+//! simply do not come back, so `recover_container` quarantines exactly
+//! those ids as *missing* — then rebuilds each shard's engine, reporting
+//! per-shard replay stats ([`ShardReplay`]) through the heal report, the
+//! `texid_replay_*` metrics, and the trace ring.
 
 use crate::faults::{Backoff, FaultKind, FaultOp, FaultPlan};
 use crate::kv::KvStore;
@@ -41,6 +53,9 @@ use texid_knn::geometry::{verify_matches, RansacParams};
 use texid_knn::{match_pair, ExecMode, FeatureBlock, MatchConfig};
 use texid_obs::{global_ring, Counter, Gauge, Histogram, Registry, TraceContext, TraceRing};
 use texid_sift::FeatureMatrix;
+use texid_store::{
+    crc32c, DurableLog, LogConfig, ReplayStats, SnapshotFault, Volume, WalStats, WriteFault,
+};
 
 /// Numeric encoding of [`ShardHealth`] for the breaker-state gauge.
 fn breaker_gauge_value(health: ShardHealth) -> f64 {
@@ -63,10 +78,19 @@ struct Telemetry {
     breaker_state: Vec<Gauge>,
     shard_latency: Vec<Histogram>,
     shard_lock_wait: Vec<Histogram>,
+    replay_records: Vec<Counter>,
+    replay_quarantined: Vec<Counter>,
+    replay_duration: Vec<Histogram>,
     schedule_efficiency: Gauge,
     achieved_tflops: Gauge,
     gpu_efficiency: Gauge,
     faults_injected: Gauge,
+    heal_passes: Counter,
+    replay_corrupt_records: Counter,
+    replay_torn_bytes: Counter,
+    wal_appends: Gauge,
+    wal_bytes: Gauge,
+    wal_snapshots: Gauge,
 }
 
 impl Telemetry {
@@ -76,6 +100,9 @@ impl Telemetry {
         let mut breaker_state = Vec::with_capacity(containers);
         let mut shard_latency = Vec::with_capacity(containers);
         let mut shard_lock_wait = Vec::with_capacity(containers);
+        let mut replay_records = Vec::with_capacity(containers);
+        let mut replay_quarantined = Vec::with_capacity(containers);
+        let mut replay_duration = Vec::with_capacity(containers);
         for i in 0..containers {
             let shard = i.to_string();
             let labels = [("shard", shard.as_str())];
@@ -106,6 +133,21 @@ impl Telemetry {
                 "Wall microseconds a search leg spent acquiring this shard's engine lock.",
                 &labels,
             ));
+            replay_records.push(reg.counter(
+                "texid_replay_records",
+                "Entries re-indexed into this shard by replay-based heal passes.",
+                &labels,
+            ));
+            replay_quarantined.push(reg.counter(
+                "texid_replay_quarantined",
+                "Entries quarantined (missing or corrupt) while healing this shard.",
+                &labels,
+            ));
+            replay_duration.push(reg.histogram(
+                "texid_replay_duration_us",
+                "Wall microseconds one heal pass spent rebuilding this shard (including injected replay stalls).",
+                &labels,
+            ));
         }
         Telemetry {
             searches: reg.counter(
@@ -128,6 +170,9 @@ impl Telemetry {
             breaker_state,
             shard_latency,
             shard_lock_wait,
+            replay_records,
+            replay_quarantined,
+            replay_duration,
             schedule_efficiency: reg.gauge(
                 "texid_schedule_efficiency",
                 "Eq. 4: per-GPU achieved speed over the PCIe-bound theoretical speed, last search.",
@@ -146,6 +191,36 @@ impl Telemetry {
             faults_injected: reg.gauge(
                 "texid_faults_injected",
                 "Faults injected so far by the active fault plan (0 without one).",
+                &[],
+            ),
+            heal_passes: reg.counter(
+                "texid_heal_passes",
+                "heal() passes that found at least one unhealthy shard to rebuild.",
+                &[],
+            ),
+            replay_corrupt_records: reg.counter(
+                "texid_replay_corrupt_records",
+                "WAL records skipped for bad CRC or grammar during heal replays (bit rot).",
+                &[],
+            ),
+            replay_torn_bytes: reg.counter(
+                "texid_replay_torn_bytes",
+                "Dangling WAL tail bytes dropped during heal replays (torn writes).",
+                &[],
+            ),
+            wal_appends: reg.gauge(
+                "texid_wal_appends",
+                "Records appended to the feature-store WAL since startup (0 for ephemeral stores).",
+                &[],
+            ),
+            wal_bytes: reg.gauge(
+                "texid_wal_bytes",
+                "Current feature-store WAL size in bytes (shrinks at each snapshot compaction).",
+                &[],
+            ),
+            wal_snapshots: reg.gauge(
+                "texid_wal_snapshots",
+                "Checksummed snapshots written by feature-store compaction since startup.",
                 &[],
             ),
         }
@@ -169,6 +244,23 @@ impl Default for ResilienceConfig {
     }
 }
 
+/// Feature-store durability tuning (DESIGN.md §12).
+#[derive(Clone, Copy, Debug)]
+pub struct StoreConfig {
+    /// Journal every write to an in-memory WAL + snapshot pair so
+    /// `heal()` can replay instead of trusting whatever survived. `false`
+    /// reverts to the purely ephemeral pre-durability store.
+    pub durable: bool,
+    /// Writes between snapshot compactions (0 = never compact).
+    pub snapshot_every: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig { durable: true, snapshot_every: 256 }
+    }
+}
+
 /// Cluster construction parameters.
 #[derive(Clone, Debug)]
 pub struct ClusterConfig {
@@ -181,6 +273,8 @@ pub struct ClusterConfig {
     /// Per-shard query coalescing (continuous batching of concurrent
     /// searches into one multi-query cache sweep).
     pub coalesce: CoalesceConfig,
+    /// Feature-store durability.
+    pub store: StoreConfig,
 }
 
 impl Default for ClusterConfig {
@@ -190,6 +284,7 @@ impl Default for ClusterConfig {
             engine: EngineConfig::default(),
             resilience: ResilienceConfig::default(),
             coalesce: CoalesceConfig::default(),
+            store: StoreConfig::default(),
         }
     }
 }
@@ -365,14 +460,58 @@ pub struct VerifyReport {
     pub accepted: bool,
 }
 
+/// Why an entry was quarantined during recovery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QuarantineReason {
+    /// The store has no bytes for the id (lost read, or a torn/unsynced
+    /// WAL record that vanished on replay).
+    Missing,
+    /// Bytes exist but fail their per-value CRC32C or do not decode.
+    Corrupt,
+}
+
+impl QuarantineReason {
+    /// Lowercase name (REST payloads).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            QuarantineReason::Missing => "missing",
+            QuarantineReason::Corrupt => "corrupt",
+        }
+    }
+}
+
+/// One quarantined entry: the id and why it could not be restored.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Quarantine {
+    /// External texture id.
+    pub id: u64,
+    /// What was wrong with its stored bytes.
+    pub reason: QuarantineReason,
+}
+
 /// What [`Cluster::recover_container`] accomplished.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct RecoveryReport {
     /// Entries re-indexed from the store.
     pub restored: usize,
-    /// Ids whose stored bytes were lost or corrupt; their remains were
+    /// Ids whose stored bytes were missing or corrupt; their remains were
     /// moved under a `quarantine:` key and the id retired.
-    pub quarantined: Vec<u64>,
+    pub quarantined: Vec<Quarantine>,
+}
+
+/// Per-shard replay stats from one heal pass (REST `POST /heal` payload,
+/// `texid_replay_*` metrics).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ShardReplay {
+    /// Shard index.
+    pub shard: usize,
+    /// Entries re-indexed into the rebuilt engine.
+    pub records_replayed: usize,
+    /// Entries quarantined (missing or corrupt).
+    pub records_quarantined: usize,
+    /// Wall microseconds rebuilding this shard, including injected replay
+    /// stalls (which are accounted, not slept).
+    pub replay_wall_us: f64,
 }
 
 /// What [`Cluster::heal`] accomplished.
@@ -382,8 +521,13 @@ pub struct HealReport {
     pub healed: Vec<usize>,
     /// Entries re-indexed across all healed shards.
     pub restored: usize,
-    /// Ids quarantined across all healed shards.
-    pub quarantined: Vec<u64>,
+    /// Entries quarantined across all healed shards.
+    pub quarantined: Vec<Quarantine>,
+    /// Per-shard replay stats, in heal order.
+    pub shards: Vec<ShardReplay>,
+    /// What the durable-media replay found (None when the store is
+    /// ephemeral or no shard needed healing).
+    pub replay: Option<ReplayStats>,
 }
 
 /// Point-in-time cluster statistics.
@@ -418,6 +562,8 @@ pub struct ClusterStats {
     pub achieved_tflops: f64,
     /// Eq. 3 per-GPU efficiency, last search.
     pub gpu_efficiency: f64,
+    /// Feature-store WAL counters (None when the store is ephemeral).
+    pub wal: Option<WalStats>,
 }
 
 /// Per-shard dispatch decision for one search, fixed *before* the scatter
@@ -430,6 +576,18 @@ enum LegPlan {
     Run { crash: bool, straggle: Option<f64>, backoff_us: f64 },
     /// Transient-fault retries already exhausted: fail without dispatching.
     FailFast,
+}
+
+/// Outcome of a fault-wrapped, checksum-verified store read: the caller
+/// learns whether bytes were absent or present-but-mangled, instead of
+/// deserializing garbage.
+enum StoreRead {
+    /// No bytes under the key.
+    Missing,
+    /// Bytes verified against their per-value CRC32C.
+    Value(Vec<u8>),
+    /// Bytes present but failing their checksum.
+    Corrupt,
 }
 
 /// Per-shard gathered outcome of one search.
@@ -499,10 +657,18 @@ impl Cluster {
             .collect();
         let shard_health = (0..cfg.containers).map(|_| ShardState::default()).collect();
         let telemetry = Telemetry::register(registry, cfg.containers);
+        let store = if cfg.store.durable {
+            KvStore::durable(DurableLog::new(
+                Volume::in_memory(),
+                LogConfig { snapshot_every: cfg.store.snapshot_every },
+            ))
+        } else {
+            KvStore::new()
+        };
         Cluster {
             cfg,
             shards,
-            store: KvStore::new(),
+            store,
             shard_of: Mutex::new(HashMap::new()),
             live_key: Mutex::new(HashMap::new()),
             external_of: Mutex::new(HashMap::new()),
@@ -607,11 +773,23 @@ impl Cluster {
         format!("tex:{id:020}")
     }
 
+    /// Verify fetched bytes against the per-value CRC32C sealed at write
+    /// time — the line between *missing* and *corrupt*.
+    fn verified(read: Option<(Vec<u8>, u32)>) -> StoreRead {
+        match read {
+            None => StoreRead::Missing,
+            Some((bytes, crc)) if crc32c(&bytes) == crc => StoreRead::Value(bytes),
+            Some(_) => StoreRead::Corrupt,
+        }
+    }
+
     /// Store read through the fault plan: bounded deterministic retries on
-    /// transient faults, loss/corruption surfaced to the caller.
-    fn store_get(&self, key: &str) -> Result<Option<Vec<u8>>, ClusterError> {
+    /// transient faults; loss and corruption surfaced as distinct
+    /// [`StoreRead`] outcomes (corruption is *detected*, never returned —
+    /// mangled bytes fail their per-value checksum).
+    fn store_get(&self, key: &str) -> Result<StoreRead, ClusterError> {
         let Some(plan) = &self.fault_plan else {
-            return Ok(self.store.get(key));
+            return Ok(Self::verified(self.store.get_with_crc(key)));
         };
         let mut attempt = 0u32;
         loop {
@@ -623,20 +801,28 @@ impl Cluster {
                     attempt += 1;
                     self.note_retry(None);
                 }
-                Some(FaultKind::KvLoss) => return Ok(None),
+                Some(FaultKind::KvLoss) => return Ok(StoreRead::Missing),
                 Some(FaultKind::KvCorrupt) => {
-                    return Ok(self.store.get(key).map(|mut bytes| {
-                        plan.corrupt_bytes(&mut bytes);
-                        bytes
-                    }))
+                    return Ok(Self::verified(self.store.get_with_crc(key).map(
+                        |(mut bytes, crc)| {
+                            plan.corrupt_bytes(&mut bytes);
+                            bytes = if bytes.is_empty() { vec![0] } else { bytes };
+                            (bytes, crc)
+                        },
+                    )))
                 }
-                _ => return Ok(self.store.get(key)),
+                _ => return Ok(Self::verified(self.store.get_with_crc(key))),
             }
         }
     }
 
-    /// Store write through the fault plan (same retry discipline).
+    /// Store write through the fault plan: bounded deterministic retries
+    /// on transient faults, then (for durable stores) one durability draw
+    /// for the WAL append and, when compaction comes due, one for the
+    /// snapshot write. All draws happen sequentially on the caller's
+    /// thread — the determinism contract of [`crate::faults`].
     fn store_set(&self, key: &str, value: Vec<u8>) -> Result<(), ClusterError> {
+        let mut wal_fault = WriteFault::Clean;
         if let Some(plan) = &self.fault_plan {
             let mut attempt = 0u32;
             while let Some(FaultKind::Transient) = plan.decide(FaultOp::kv_write(key)) {
@@ -646,8 +832,24 @@ impl Cluster {
                 attempt += 1;
                 self.note_retry(None);
             }
+            if self.store.is_durable() {
+                wal_fault = match plan.decide(FaultOp::wal_append(key)) {
+                    Some(FaultKind::CrashBeforeFsync) => WriteFault::Lose,
+                    Some(FaultKind::TornWrite) => WriteFault::Tear,
+                    _ => WriteFault::Clean,
+                };
+            }
         }
-        self.store.set(key, value);
+        self.store.set_faulted(key, value, wal_fault);
+        if self.store.snapshot_due() {
+            let snap_fault = match
+                self.fault_plan.as_ref().and_then(|p| p.decide(FaultOp::snapshot_write()))
+            {
+                Some(FaultKind::SnapshotCorrupt) => SnapshotFault::Corrupt,
+                _ => SnapshotFault::Clean,
+            };
+            self.store.compact(snap_fault);
+        }
         Ok(())
     }
 
@@ -714,7 +916,11 @@ impl Cluster {
     /// # Errors
     /// `NotFound` / `Corrupt` / `Timeout`.
     pub fn get_texture(&self, id: u64) -> Result<FeatureMatrix, ClusterError> {
-        let bytes = self.store_get(&Self::key(id))?.ok_or(ClusterError::NotFound(id))?;
+        let bytes = match self.store_get(&Self::key(id))? {
+            StoreRead::Value(bytes) => bytes,
+            StoreRead::Missing => return Err(ClusterError::NotFound(id)),
+            StoreRead::Corrupt => return Err(ClusterError::Corrupt(id)),
+        };
         wire::decode_features(&bytes).map_err(|_| ClusterError::Corrupt(id))
     }
 
@@ -1082,17 +1288,24 @@ impl Cluster {
         let mut engine = Engine::new(self.cfg.engine.clone());
         let mut report = RecoveryReport::default();
         for (id, key) in &members {
-            let features = self
-                .store_get(&Self::key(*id))?
-                .and_then(|bytes| wire::decode_features(&bytes).ok());
-            match features {
-                Some(features) => {
+            // Three-way read: checksum-verified value, missing, or corrupt
+            // (a decode failure on verified bytes is corruption too).
+            let outcome = match self.store_get(&Self::key(*id))? {
+                StoreRead::Value(bytes) => match wire::decode_features(&bytes) {
+                    Ok(features) => Ok(features),
+                    Err(_) => Err(QuarantineReason::Corrupt),
+                },
+                StoreRead::Missing => Err(QuarantineReason::Missing),
+                StoreRead::Corrupt => Err(QuarantineReason::Corrupt),
+            };
+            match outcome {
+                Ok(features) => {
                     engine.add_reference(*key, &features)?;
                     report.restored += 1;
                 }
-                None => {
+                Err(reason) => {
                     self.quarantine(*id);
-                    report.quarantined.push(*id);
+                    report.quarantined.push(Quarantine { id: *id, reason });
                 }
             }
         }
@@ -1103,13 +1316,25 @@ impl Cluster {
         Ok(report)
     }
 
-    /// Supervisor pass: rebuild every non-`Healthy` shard from the feature
-    /// store and re-admit it, quarantining unrecoverable entries.
+    /// Supervisor pass: rebuild every non-`Healthy` shard and re-admit it,
+    /// quarantining unrecoverable entries.
+    ///
+    /// When the store is durable, the pass first **replays** it strictly
+    /// from the WAL + snapshot media, so entries whose writes were torn or
+    /// lost before fsync vanish and are quarantined as missing — recovery
+    /// trusts the media, not the possibly-wrong in-memory map. Per-shard
+    /// replay stats land in the report, the `texid_replay_*` metrics, and
+    /// (under `ctx`) the trace ring.
     ///
     /// # Errors
     /// Propagates [`Cluster::recover_container`] errors (healing stops at
     /// the first shard that cannot be rebuilt; earlier shards stay healed).
     pub fn heal(&self) -> Result<HealReport, ClusterError> {
+        self.heal_traced(None)
+    }
+
+    /// [`Cluster::heal`] with span recording under a caller trace context.
+    pub fn heal_traced(&self, ctx: Option<&TraceContext>) -> Result<HealReport, ClusterError> {
         let unhealthy: Vec<usize> = {
             let states = self.shard_health.lock();
             states
@@ -1120,8 +1345,55 @@ impl Cluster {
                 .collect()
         };
         let mut report = HealReport::default();
+        if unhealthy.is_empty() {
+            return Ok(report);
+        }
+        self.telemetry.heal_passes.inc();
+        let ring = global_ring();
+        // Replay the shared durable store once, before any shard rebuild:
+        // from here on, reads see only what the media actually kept.
+        if self.store.is_durable() {
+            let mut span = ctx.map(|c| ring.span(c, "store.replay"));
+            let replay = self.store.replay();
+            if let Some(stats) = &replay {
+                span = span.map(|s| {
+                    s.tag("records", &stats.wal_records_applied.to_string())
+                        .tag("corrupt_skipped", &stats.wal_corrupt_skipped.to_string())
+                        .tag("torn_tail_bytes", &stats.wal_torn_tail_bytes.to_string())
+                });
+                self.telemetry.replay_corrupt_records.add(stats.wal_corrupt_skipped as u64);
+                self.telemetry.replay_torn_bytes.add(stats.wal_torn_tail_bytes as u64);
+            }
+            drop(span);
+            report.replay = replay;
+        }
         for shard in unhealthy {
+            // Sequential fault draw: an injected replay stall is accounted
+            // into this shard's wall time (simulated, not slept).
+            let stall_us = match
+                self.fault_plan.as_ref().and_then(|p| p.decide(FaultOp::replay(shard)))
+            {
+                Some(FaultKind::ReplayStall { us }) => us,
+                _ => 0.0,
+            };
+            let started = Instant::now();
+            let span = ctx.map(|c| ring.span(c, "shard.replay"));
             let rec = self.recover_container(shard)?;
+            let wall_us = started.elapsed().as_secs_f64() * 1e6 + stall_us;
+            drop(span.map(|s| {
+                s.tag("shard", &shard.to_string())
+                    .tag("restored", &rec.restored.to_string())
+                    .tag("quarantined", &rec.quarantined.len().to_string())
+            }));
+            self.telemetry.replay_records[shard].add(rec.restored as u64);
+            self.telemetry.replay_quarantined[shard].add(rec.quarantined.len() as u64);
+            self.telemetry.replay_duration[shard].observe(wall_us);
+            report.shards.push(ShardReplay {
+                shard,
+                records_replayed: rec.restored,
+                records_quarantined: rec.quarantined.len(),
+                replay_wall_us: wall_us,
+            });
             report.restored += rec.restored;
             report.quarantined.extend(rec.quarantined);
             report.healed.push(shard);
@@ -1167,6 +1439,12 @@ impl Cluster {
                 ShardHealth::Down => (h, s, d + 1),
             })
         };
+        let wal = self.store.wal_stats();
+        if let Some(w) = &wal {
+            self.telemetry.wal_appends.set(w.appends as f64);
+            self.telemetry.wal_bytes.set(w.wal_bytes as f64);
+            self.telemetry.wal_snapshots.set(w.snapshots as f64);
+        }
         ClusterStats {
             containers: self.shards.len(),
             textures: self.len(),
@@ -1182,6 +1460,7 @@ impl Cluster {
             schedule_efficiency: self.telemetry.schedule_efficiency.get(),
             achieved_tflops: self.telemetry.achieved_tflops.get(),
             gpu_efficiency: self.telemetry.gpu_efficiency.get(),
+            wal,
         }
     }
 }
@@ -1611,7 +1890,12 @@ mod tests {
         // Recovery reads members in id order: id 0 draws the corrupt read.
         let recovery = cluster.recover_container(0).unwrap();
         assert_eq!(recovery.restored, 2);
-        assert_eq!(recovery.quarantined, vec![0]);
+        // The per-value checksum pins the blame: bytes were present but
+        // mangled, so the reason is Corrupt, not Missing.
+        assert_eq!(
+            recovery.quarantined,
+            vec![Quarantine { id: 0, reason: QuarantineReason::Corrupt }]
+        );
         assert_eq!(cluster.len(), 2);
         assert!(cluster.store().exists("quarantine:tex:00000000000000000000"));
         // Quarantined ids vanish from results.
@@ -1639,6 +1923,102 @@ mod tests {
         assert!(!after.degraded);
         assert_eq!(after.results[0].0, 4);
         assert_eq!(after.comparisons, 6);
+    }
+
+    #[test]
+    fn lost_store_entry_quarantined_as_missing() {
+        let plan = FaultPlan::new(23).lose_kv_reads(1);
+        let cluster = Cluster::with_faults(small_config(1), Some(plan));
+        for id in 0..3u64 {
+            cluster.add_texture(id, &features(id, 128)).unwrap();
+        }
+        let recovery = cluster.recover_container(0).unwrap();
+        assert_eq!(recovery.restored, 2);
+        assert_eq!(
+            recovery.quarantined,
+            vec![Quarantine { id: 0, reason: QuarantineReason::Missing }]
+        );
+    }
+
+    #[test]
+    fn heal_replays_durable_store_and_quarantines_torn_write() {
+        // Tear the WAL append of the final add (skip the first 3), then
+        // crash the only shard so heal has something to rebuild.
+        let plan = FaultPlan::new(31).tear_wal_append_after(3).crash_shard(0);
+        let cluster = Cluster::with_faults(small_config(1), Some(plan));
+        for id in 0..4u64 {
+            cluster.add_texture(id, &features(id, 128)).unwrap();
+        }
+        // Until heal replays, the in-memory map still serves the torn id —
+        // the writer had no idea the append never became durable.
+        assert!(cluster.get_texture(3).is_ok());
+        let out = cluster.search(&query_for(1), 4);
+        assert_eq!(out.shards_failed, 1);
+
+        let heal = cluster.heal().unwrap();
+        assert_eq!(heal.healed, vec![0]);
+        let replay = heal.replay.as_ref().expect("durable store must report replay stats");
+        assert!(replay.wal_torn_tail_bytes > 0, "{replay:?}");
+        assert_eq!(replay.wal_records_applied, 3);
+        assert_eq!(
+            heal.quarantined,
+            vec![Quarantine { id: 3, reason: QuarantineReason::Missing }]
+        );
+        assert_eq!(heal.shards.len(), 1);
+        assert_eq!(heal.shards[0].shard, 0);
+        assert_eq!(heal.shards[0].records_replayed, 3);
+        assert_eq!(heal.shards[0].records_quarantined, 1);
+        assert!(heal.shards[0].replay_wall_us > 0.0);
+
+        // The torn id is gone for good; the rest survived the crash.
+        assert!(matches!(cluster.get_texture(3), Err(ClusterError::NotFound(3))));
+        for id in 0..3 {
+            assert!(cluster.get_texture(id).is_ok(), "id {id}");
+        }
+        let after = cluster.search(&query_for(1), 4);
+        assert!(!after.degraded);
+        assert_eq!(after.comparisons, 3);
+    }
+
+    #[test]
+    fn replay_stall_is_accounted_into_shard_wall_time() {
+        let plan = FaultPlan::new(37).crash_shard(0).stall_replay(0, 250_000.0);
+        let cluster = Cluster::with_faults(small_config(1), Some(plan));
+        cluster.add_texture(0, &features(0, 128)).unwrap();
+        let _ = cluster.search(&query_for(0), 1);
+        let heal = cluster.heal().unwrap();
+        assert_eq!(heal.healed, vec![0]);
+        // 250ms simulated stall dominates the real rebuild time.
+        assert!(heal.shards[0].replay_wall_us >= 250_000.0, "{:?}", heal.shards[0]);
+    }
+
+    #[test]
+    fn ephemeral_store_config_heals_without_replay() {
+        let plan = FaultPlan::new(41).crash_shard(0);
+        let cfg = ClusterConfig {
+            store: StoreConfig { durable: false, snapshot_every: 0 },
+            ..small_config(1)
+        };
+        let cluster = Cluster::with_faults(cfg, Some(plan));
+        cluster.add_texture(0, &features(0, 128)).unwrap();
+        assert!(cluster.stats().wal.is_none());
+        let _ = cluster.search(&query_for(0), 1);
+        let heal = cluster.heal().unwrap();
+        assert_eq!(heal.healed, vec![0]);
+        assert!(heal.replay.is_none());
+        assert_eq!(heal.restored, 1);
+    }
+
+    #[test]
+    fn stats_expose_wal_counters() {
+        let cluster = small_cluster(1);
+        for id in 0..3u64 {
+            cluster.add_texture(id, &features(id, 64)).unwrap();
+        }
+        let wal = cluster.stats().wal.expect("default store is durable");
+        assert_eq!(wal.appends, 3);
+        assert_eq!(wal.lost_appends, 0);
+        assert!(wal.wal_bytes > 0);
     }
 
     #[test]

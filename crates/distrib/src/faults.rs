@@ -11,7 +11,12 @@
 //! * **straggler slowdowns** — a shard's simulated `total_us` is scaled;
 //! * **KV loss / corruption** — a feature-store read returns nothing, or
 //!   deterministically mangled bytes;
-//! * **transient I/O errors** — an operation fails and is worth retrying.
+//! * **transient I/O errors** — an operation fails and is worth retrying;
+//! * **durability faults** (DESIGN.md §12) — a WAL append is lost before
+//!   fsync or torn mid-write, a snapshot lands bit-flipped, or a replay
+//!   stalls for accounted simulated time. The mechanisms live in
+//!   `texid-store` ([`texid_store::WriteFault`] / [`texid_store::SnapshotFault`]);
+//!   this plan only decides *when* they fire.
 //!
 //! # Determinism contract
 //!
@@ -43,6 +48,21 @@ pub enum FaultKind {
     KvCorrupt,
     /// A transient I/O error: the operation fails but a retry may succeed.
     Transient,
+    /// A WAL append is lost before fsync — the writer believes it wrote,
+    /// the media kept nothing.
+    CrashBeforeFsync,
+    /// A WAL append is sheared mid-write, leaving a dangling prefix for
+    /// replay to find and drop.
+    TornWrite,
+    /// A snapshot lands with a flipped bit, so replay must reject it by
+    /// checksum and fall back to the WAL.
+    SnapshotCorrupt,
+    /// A shard's replay stalls for `us` simulated microseconds (accounted,
+    /// not slept) — the recovery-path analogue of a straggler.
+    ReplayStall {
+        /// Simulated stall, µs.
+        us: f64,
+    },
 }
 
 /// The operation classes the cluster exposes to fault injection.
@@ -54,6 +74,12 @@ pub enum OpClass {
     KvRead,
     /// A feature-store write (`add_texture`, `update_texture`).
     KvWrite,
+    /// A durable WAL append riding a feature-store write.
+    WalAppend,
+    /// A periodic snapshot/compaction write.
+    SnapshotWrite,
+    /// One shard's replay leg inside `heal()`.
+    Replay,
 }
 
 /// One operation point, described to [`FaultPlan::decide`].
@@ -82,6 +108,21 @@ impl<'a> FaultOp<'a> {
     pub fn kv_write(key: &'a str) -> FaultOp<'a> {
         FaultOp { class: OpClass::KvWrite, shard: None, key: Some(key) }
     }
+
+    /// The durable WAL append carrying a write of `key`.
+    pub fn wal_append(key: &'a str) -> FaultOp<'a> {
+        FaultOp { class: OpClass::WalAppend, shard: None, key: Some(key) }
+    }
+
+    /// A snapshot/compaction write.
+    pub fn snapshot_write() -> FaultOp<'a> {
+        FaultOp { class: OpClass::SnapshotWrite, shard: None, key: None }
+    }
+
+    /// Shard `shard`'s replay leg inside `heal()`.
+    pub fn replay(shard: usize) -> FaultOp<'a> {
+        FaultOp { class: OpClass::Replay, shard: Some(shard), key: None }
+    }
 }
 
 /// Per-class probabilities for seeded chaos mode (all default to 0).
@@ -97,6 +138,14 @@ pub struct FaultProbs {
     pub kv_loss: f64,
     /// P(corrupted bytes) per store read.
     pub kv_corrupt: f64,
+    /// P(append lost before fsync) per durable WAL append.
+    pub crash_before_fsync: f64,
+    /// P(append sheared mid-write) per durable WAL append.
+    pub torn_write: f64,
+    /// P(bit-flipped snapshot) per compaction.
+    pub snapshot_corrupt: f64,
+    /// P(stall) per shard replay leg.
+    pub replay_stall: f64,
 }
 
 /// A scripted injection: fire `kind` on the nth..nth+count'th matching op.
@@ -207,12 +256,38 @@ impl FaultPlan {
         self.rule(OpClass::KvWrite, None, FaultKind::Transient, 0, count)
     }
 
+    /// Lose the WAL append of the next write after letting `skip` appends
+    /// land cleanly (crash-before-fsync).
+    pub fn lose_wal_append_after(self, skip: u64) -> Self {
+        self.rule(OpClass::WalAppend, None, FaultKind::CrashBeforeFsync, skip, 1)
+    }
+
+    /// Tear the WAL append of the next write after letting `skip` appends
+    /// land cleanly (the classic torn final record).
+    pub fn tear_wal_append_after(self, skip: u64) -> Self {
+        self.rule(OpClass::WalAppend, None, FaultKind::TornWrite, skip, 1)
+    }
+
+    /// Bit-flip the next `count` snapshot writes.
+    pub fn corrupt_snapshots(self, count: u64) -> Self {
+        self.rule(OpClass::SnapshotWrite, None, FaultKind::SnapshotCorrupt, 0, count)
+    }
+
+    /// Stall `shard`'s next replay leg by `us` simulated microseconds.
+    pub fn stall_replay(self, shard: usize, us: f64) -> Self {
+        self.rule(OpClass::Replay, Some(shard), FaultKind::ReplayStall { us }, 0, 1)
+    }
+
     /// Decide what (if anything) to inject at `op`.
     ///
     /// Called by the cluster from sequential code only — see the module
     /// docs' determinism contract.
     pub fn decide(&self, op: FaultOp<'_>) -> Option<FaultKind> {
-        // Scripted rules first, in declaration order.
+        // Scripted rules first, in declaration order. Every matching rule's
+        // `seen` counter advances on every op — `skip` indexes ops, not
+        // ops-left-over-after-earlier-rules — so two rules on the same class
+        // (e.g. tear append #2, lose append #4) each hit their exact target.
+        let mut chosen = None;
         for rule in &self.rules {
             if rule.class != op.class {
                 continue;
@@ -225,7 +300,7 @@ impl FaultPlan {
                 continue;
             }
             let seen = rule.seen.fetch_add(1, Ordering::Relaxed);
-            if seen < rule.skip {
+            if seen < rule.skip || chosen.is_some() {
                 continue;
             }
             // Claim one unit of budget (saturating at zero).
@@ -235,8 +310,11 @@ impl FaultPlan {
                 .is_ok();
             if claimed {
                 self.injected.fetch_add(1, Ordering::Relaxed);
-                return Some(rule.kind);
+                chosen = Some(rule.kind);
             }
+        }
+        if chosen.is_some() {
+            return chosen;
         }
 
         // Seeded chaos: one uniform draw, mass split over the class's kinds.
@@ -252,6 +330,12 @@ impl FaultPlan {
                 (self.probs.transient, FaultKind::Transient),
             ],
             OpClass::KvWrite => &[(self.probs.transient, FaultKind::Transient)],
+            OpClass::WalAppend => &[
+                (self.probs.crash_before_fsync, FaultKind::CrashBeforeFsync),
+                (self.probs.torn_write, FaultKind::TornWrite),
+            ],
+            OpClass::SnapshotWrite => &[(self.probs.snapshot_corrupt, FaultKind::SnapshotCorrupt)],
+            OpClass::Replay => &[(self.probs.replay_stall, FaultKind::ReplayStall { us: 0.0 })],
         };
         if candidates.iter().all(|(p, _)| *p <= 0.0) {
             return None;
@@ -266,6 +350,10 @@ impl FaultPlan {
                     // Straggler factor derived from a second mix: 2x..16x.
                     FaultKind::Straggler { .. } => {
                         FaultKind::Straggler { factor: 2.0 + 14.0 * unit(splitmix(bits)) }
+                    }
+                    // Replay stall drawn the same way: 1ms..50ms simulated.
+                    FaultKind::ReplayStall { .. } => {
+                        FaultKind::ReplayStall { us: 1_000.0 + 49_000.0 * unit(splitmix(bits)) }
                     }
                     other => *other,
                 });
@@ -392,6 +480,47 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a, original);
         assert!(a.len() < original.len());
+    }
+
+    #[test]
+    fn durability_rules_target_the_exact_append() {
+        let plan = FaultPlan::new(1).tear_wal_append_after(2).lose_wal_append_after(4);
+        let kinds: Vec<_> = (0..6).map(|i| plan.decide(FaultOp::wal_append(&format!("k{i}")))).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                None,
+                None,
+                Some(FaultKind::TornWrite),
+                None,
+                Some(FaultKind::CrashBeforeFsync),
+                None
+            ]
+        );
+    }
+
+    #[test]
+    fn snapshot_and_replay_rules_fire() {
+        let plan = FaultPlan::new(1).corrupt_snapshots(1).stall_replay(3, 5_000.0);
+        assert_eq!(plan.decide(FaultOp::snapshot_write()), Some(FaultKind::SnapshotCorrupt));
+        assert_eq!(plan.decide(FaultOp::snapshot_write()), None);
+        assert_eq!(plan.decide(FaultOp::replay(0)), None);
+        assert_eq!(plan.decide(FaultOp::replay(3)), Some(FaultKind::ReplayStall { us: 5_000.0 }));
+        assert_eq!(plan.decide(FaultOp::replay(3)), None);
+    }
+
+    #[test]
+    fn chaos_replay_stalls_are_bounded() {
+        let probs = FaultProbs { replay_stall: 1.0, ..Default::default() };
+        let plan = FaultPlan::chaos(11, probs);
+        for i in 0..16 {
+            match plan.decide(FaultOp::replay(i)) {
+                Some(FaultKind::ReplayStall { us }) => {
+                    assert!((1_000.0..=50_000.0).contains(&us), "{us}");
+                }
+                other => panic!("expected replay stall, got {other:?}"),
+            }
+        }
     }
 
     #[test]

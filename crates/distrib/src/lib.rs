@@ -5,8 +5,12 @@
 //! * **Cluster** ([`cluster`]): 14 GPU containers (one simulated Tesla P100
 //!   each, 64 GB host cache, 4 GB device reserve), references sharded
 //!   round-robin, queries scatter-gathered across all shards in parallel.
-//! * **Feature store** ([`kv`]): the Redis stand-in — an in-memory,
-//!   thread-safe KV service holding serialized reference feature matrices.
+//! * **Feature store** ([`kv`]): the Redis stand-in — a thread-safe KV
+//!   service holding serialized reference feature matrices, with per-value
+//!   CRC32C checksums and (by default) a durable write-ahead log +
+//!   checksummed snapshots from `texid-store`, so
+//!   [`cluster::Cluster::heal`] *replays* crashed shards from media
+//!   instead of trusting whatever survived (DESIGN.md §12).
 //! * **Wire format** ([`wire`]): protobuf-style varint/length-delimited
 //!   serialization of feature matrices (the paper serializes with Google
 //!   protobuf).
@@ -37,7 +41,8 @@ pub mod wire;
 
 pub use cluster::{
     Cluster, ClusterConfig, ClusterError, ClusterSearchResult, ClusterStats, HealReport,
-    RecoveryReport, ResilienceConfig, ShardHealth, ShardStatus,
+    Quarantine, QuarantineReason, RecoveryReport, ResilienceConfig, ShardHealth, ShardReplay,
+    ShardStatus, StoreConfig,
 };
 pub use faults::{Backoff, FaultKind, FaultOp, FaultPlan, FaultProbs, OpClass};
 pub use kv::KvStore;

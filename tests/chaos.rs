@@ -16,7 +16,9 @@ use rand::SeedableRng;
 use std::sync::Arc;
 use texid_core::EngineConfig;
 use texid_distrib::api;
-use texid_distrib::cluster::{Cluster, ClusterConfig, ShardHealth};
+use texid_distrib::cluster::{
+    Cluster, ClusterConfig, Quarantine, QuarantineReason, ShardHealth, StoreConfig,
+};
 use texid_distrib::faults::{FaultPlan, FaultProbs};
 use texid_distrib::http::http_call;
 use texid_distrib::json::parse;
@@ -193,6 +195,132 @@ fn acceptance_crash_heal_roundtrip() {
     for s in shards {
         assert_eq!(s.get("health").and_then(|h| h.as_str()), Some("healthy"), "{}", resp.text());
     }
+}
+
+/// The durability acceptance scenario end to end: a shard crash plus a
+/// torn WAL tail mid-ingest. After `heal()` the replayed shard serves
+/// search results bit-identical to an uncrashed control cluster that never
+/// saw the torn record, and exactly the torn record is quarantined and
+/// counted in the per-shard replay stats.
+#[test]
+fn acceptance_torn_wal_tail_heals_to_control_cluster() {
+    // 6 ids round-robin over 3 shards; id 5 lands on shard 2. Tear the WAL
+    // append of the final ingest (append #5, zero-indexed) and crash the
+    // shard that owns it. Mid-stream tears cascade misalignment, so the
+    // torn-final-record shape is the one torn writes actually produce.
+    let plan = FaultPlan::new(2024).tear_wal_append_after(5).crash_shard(2);
+    let cluster = Cluster::with_faults(chaos_config(3), Some(plan));
+    populate(&cluster, 6);
+
+    // Control: identical cluster, never faulted, never given the torn id.
+    let control = Cluster::new(chaos_config(3));
+    populate(&control, 5);
+
+    // The crash fires on the next search leg against shard 2.
+    let hurt = cluster.search(&query_features(2), 6);
+    assert!(hurt.degraded);
+    assert_eq!(hurt.shards_failed, 1);
+
+    let report = cluster.heal().unwrap();
+    assert_eq!(report.healed, vec![2]);
+
+    // Exactly the torn record is quarantined: the WAL never durably held
+    // id 5, so replay surfaces it as Missing (not Corrupt).
+    assert_eq!(
+        report.quarantined,
+        vec![Quarantine { id: 5, reason: QuarantineReason::Missing }]
+    );
+    let replay = report.replay.as_ref().expect("durable store must replay");
+    assert_eq!(replay.wal_records_applied, 5, "{replay:?}");
+    assert!(replay.wal_torn_tail_bytes > 0, "{replay:?}");
+    assert_eq!(replay.wal_corrupt_skipped, 0, "{replay:?}");
+    assert_eq!(report.shards.len(), 1);
+    let sr = &report.shards[0];
+    assert_eq!((sr.shard, sr.records_replayed, sr.records_quarantined), (2, 1, 1));
+    assert!(sr.replay_wall_us >= 0.0);
+
+    // The healed cluster now is the control cluster, bit for bit: same
+    // ranked (id, score) lists, same comparison counts, no degradation.
+    for probe in 0..5u64 {
+        let healed = cluster.search(&query_features(probe), 6);
+        let expected = control.search(&query_features(probe), 6);
+        assert!(!healed.degraded, "probe {probe}");
+        assert_eq!(healed.results, expected.results, "probe {probe}");
+        assert_eq!(healed.comparisons, expected.comparisons, "probe {probe}");
+    }
+    // The torn id is honestly gone, not silently half-present.
+    assert!(cluster.get_texture(5).is_err());
+}
+
+/// A corrupted snapshot is detected at replay, reported, and the ids whose
+/// only durable copy was in that snapshot are quarantined as Missing —
+/// while everything still covered by the WAL tail survives the heal.
+#[test]
+fn corrupt_snapshot_is_reported_and_wal_tail_survives() {
+    let config = ClusterConfig {
+        store: StoreConfig { durable: true, snapshot_every: 4 },
+        ..chaos_config(3)
+    };
+    // The 4th append triggers compaction; the snapshot write is bit-flipped
+    // and the WAL is truncated beneath it, so ids 0..4 exist only in the
+    // bad snapshot. Ids 4 and 5 land in the post-snapshot WAL tail.
+    let plan = FaultPlan::new(7).corrupt_snapshots(1).crash_shard(0).crash_shard(1).crash_shard(2);
+    let cluster = Cluster::with_faults(config, Some(plan));
+    populate(&cluster, 6);
+
+    let hurt = cluster.search(&query_features(0), 6);
+    assert_eq!(hurt.shards_failed, 3);
+
+    let report = cluster.heal().unwrap();
+    assert_eq!(report.healed, vec![0, 1, 2]);
+    let replay = report.replay.as_ref().expect("durable store must replay");
+    assert!(replay.snapshot_error.is_some(), "{replay:?}");
+    assert_eq!(replay.wal_records_applied, 2, "{replay:?}");
+
+    // Ids 0..4 were lost with the snapshot; 4 and 5 replayed from the WAL.
+    let mut lost: Vec<u64> = report.quarantined.iter().map(|q| q.id).collect();
+    lost.sort_unstable();
+    assert_eq!(lost, vec![0, 1, 2, 3]);
+    assert!(report
+        .quarantined
+        .iter()
+        .all(|q| q.reason == QuarantineReason::Missing));
+    assert_eq!(cluster.get_texture(4).unwrap().len(), reference_features(4).len());
+    assert!(cluster.get_texture(0).is_err());
+
+    // Survivors answer: a query for id 4 still identifies it.
+    let out = cluster.search(&query_features(4), 6);
+    assert!(!out.degraded);
+    assert_eq!(out.results[0].0, 4);
+}
+
+/// Seeded durability chaos is reproducible: the same seed tears and loses
+/// the same WAL appends, and replay quarantines the same id sets.
+#[test]
+fn durability_chaos_is_deterministic() {
+    let probs = FaultProbs {
+        torn_write: 0.2,
+        crash_before_fsync: 0.2,
+        ..FaultProbs::default()
+    };
+    let run = |seed: u64| -> (Vec<u64>, usize, usize) {
+        let plan = FaultPlan::chaos(seed, probs).crash_shard(0).crash_shard(1).crash_shard(2);
+        let cluster = Cluster::with_faults(chaos_config(3), Some(plan));
+        populate(&cluster, 12);
+        let _ = cluster.search(&query_features(0), 6);
+        let report = cluster.heal().unwrap();
+        let mut ids: Vec<u64> = report.quarantined.iter().map(|q| q.id).collect();
+        ids.sort_unstable();
+        let replay = report.replay.expect("durable");
+        (ids, replay.wal_records_applied, replay.wal_torn_tail_bytes)
+    };
+    let a = run(0xfee1);
+    let b = run(0xfee1);
+    assert_eq!(a, b, "same seed must lose the same records");
+    assert!(
+        !a.0.is_empty(),
+        "chaos probabilities too low to exercise durability faults: {a:?}"
+    );
 }
 
 /// Fault accounting is exactly-once: every retry attempt bumps `/stats`
