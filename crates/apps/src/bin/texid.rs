@@ -11,18 +11,24 @@
 //! texid bench throughput [--quick] [--check]               serving imgs/s -> BENCH_throughput.json
 //! texid store inspect --dir DIR                            scan a durable volume, report damage
 //! texid store compact --dir DIR                            replay + snapshot + truncate the WAL
+//! texid events tail --addr HOST:PORT [--follow]            tail the flight recorder (JSONL)
+//! texid top --addr HOST:PORT                               live console over /metrics + /events
+//! texid obs diff --baseline F.json --current F.json        compare two BENCH_*.json runs
 //! ```
 //!
 //! Feature files use the crate's protobuf-style wire format; images are
 //! 8-bit binary PGM.
 
 use std::collections::HashMap;
+use std::net::{SocketAddr, ToSocketAddrs};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use texid_core::{Engine, EngineConfig};
 use texid_distrib::cluster::{Cluster, ClusterConfig};
+use texid_distrib::http::http_call;
+use texid_distrib::json::{parse as json_parse, Json};
 use texid_distrib::{api, wire};
 use texid_image::io::{read_pgm, write_pgm};
 use texid_image::TextureGenerator;
@@ -61,6 +67,10 @@ impl Args {
         self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
     }
 
+    fn get_f64(&self, key: &str, default: f64) -> f64 {
+        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
     fn has(&self, key: &str) -> bool {
         self.flags.contains_key(key)
     }
@@ -86,6 +96,9 @@ fn main() -> ExitCode {
         "trace" => cmd_trace(&args),
         "bench" => cmd_bench(argv.get(1).map(String::as_str), &args),
         "store" => cmd_store(argv.get(1).map(String::as_str), &args),
+        "events" => cmd_events(argv.get(1).map(String::as_str), &args),
+        "top" => cmd_top(&args),
+        "obs" => cmd_obs(argv.get(1).map(String::as_str), &args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -111,7 +124,10 @@ const USAGE: &str = "usage:
   texid bench kernels [--quick] [--check] [--out BENCH_kernels.json]
   texid bench throughput [--quick] [--check] [--out BENCH_throughput.json]
   texid store inspect --dir DIR
-  texid store compact --dir DIR";
+  texid store compact --dir DIR
+  texid events tail --addr HOST:PORT [--follow] [--limit 20] [--interval-ms 1000] [--max-polls N]
+  texid top      --addr HOST:PORT [--interval-ms 2000] [--iterations N] [--no-clear]
+  texid obs diff --baseline FILE.json --current FILE.json [--threshold 1.5] [--check]";
 
 fn cmd_gen(args: &Args) -> Result<(), String> {
     let count = args.get_usize("count", 12);
@@ -215,7 +231,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let server =
         api::serve(cluster, &format!("127.0.0.1:{port}")).map_err(|e| e.to_string())?;
     println!(
-        "texture search API on http://{} ({} containers)\nroutes: POST /textures, GET/PUT/DELETE /textures/{{id}}, POST /search, POST /verify, GET /stats, GET /health, POST /heal, GET /metrics\nCtrl-C to stop",
+        "texture search API on http://{} ({} containers)\nroutes: POST /textures, GET/PUT/DELETE /textures/{{id}}, POST /search, POST /verify, GET /stats, GET /health, POST /heal, GET /metrics, GET /events, GET /slo, GET /traces\nCtrl-C to stop",
         server.addr(),
         containers
     );
@@ -408,6 +424,339 @@ fn cmd_bench_throughput(args: &Args) -> Result<(), String> {
     if args.has("check") {
         texid_bench::throughput::check_guard(&report, 1.0)?;
         println!("check passed: coalesced >= 1.0x uncoalesced imgs/s at {max_clients} clients");
+    }
+    Ok(())
+}
+
+fn parse_addr(s: &str) -> Result<SocketAddr, String> {
+    s.to_socket_addrs()
+        .map_err(|e| format!("--addr {s}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("--addr {s}: resolved to no addresses"))
+}
+
+fn cmd_events(action: Option<&str>, args: &Args) -> Result<(), String> {
+    match action {
+        Some("tail") => {}
+        other => {
+            return Err(format!("unknown events action {other:?} — 'tail' is available\n{USAGE}"))
+        }
+    }
+    let addr = parse_addr(args.require("addr")?)?;
+    let follow = args.has("follow");
+    let limit = args.get_usize("limit", 20);
+    let interval = std::time::Duration::from_millis(args.get_usize("interval-ms", 1000) as u64);
+    let max_polls = args.get_usize("max-polls", usize::MAX);
+
+    // The flight recorder is a bounded ring, so tailing is client-side:
+    // each poll refetches the whole window and prints only records whose
+    // `seq` is new. Gaps in `seq` mean the ring lapped us (drops).
+    let mut next_seq: u64 = 0;
+    let mut first_poll = true;
+    for poll in 0.. {
+        if poll >= max_polls {
+            break;
+        }
+        let resp =
+            http_call(addr, "GET", "/events", b"").map_err(|e| format!("GET /events: {e}"))?;
+        if resp.status != 200 {
+            return Err(format!("GET /events: HTTP {}", resp.status));
+        }
+        let text = resp.text();
+        let mut fresh: Vec<(u64, &str)> = Vec::new();
+        for line in text.lines().filter(|l| !l.is_empty()) {
+            let v = json_parse(line).map_err(|e| format!("bad event line: {e}"))?;
+            let seq = v
+                .get("seq")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("event without seq: {line}"))?;
+            if seq >= next_seq {
+                fresh.push((seq, line));
+            }
+        }
+        fresh.sort_by_key(|(seq, _)| *seq);
+        // On the first poll show at most the last --limit records; after
+        // that everything new is printed.
+        let skip = if first_poll { fresh.len().saturating_sub(limit) } else { 0 };
+        for (seq, line) in fresh.iter().skip(skip) {
+            if !first_poll && *seq > next_seq {
+                eprintln!("... {} record(s) dropped by the ring ...", seq - next_seq);
+            }
+            println!("{line}");
+            next_seq = seq + 1;
+        }
+        if let Some((last, _)) = fresh.last() {
+            next_seq = last + 1;
+        }
+        first_poll = false;
+        if !follow {
+            break;
+        }
+        std::thread::sleep(interval);
+    }
+    Ok(())
+}
+
+/// One scraped sample: family name, label pairs, value.
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+/// Minimal Prometheus text-format parser: comments and exemplar
+/// annotations (everything after ` # `) are ignored.
+fn parse_prom(text: &str) -> Vec<Sample> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (ident, rest) = match line.find('{') {
+            Some(open) => {
+                let Some(close_rel) = line[open..].find('}') else { continue };
+                (&line[..open + close_rel + 1], &line[open + close_rel + 1..])
+            }
+            None => match line.find(' ') {
+                Some(sp) => (&line[..sp], &line[sp..]),
+                None => continue,
+            },
+        };
+        let Some(value) = rest.split_whitespace().next().and_then(|v| v.parse::<f64>().ok())
+        else {
+            continue;
+        };
+        let (name, labels) = match ident.split_once('{') {
+            Some((name, raw)) => {
+                let raw = raw.trim_end_matches('}');
+                let mut labels = Vec::new();
+                for pair in raw.split(',').filter(|p| !p.is_empty()) {
+                    if let Some((k, v)) = pair.split_once('=') {
+                        labels.push((k.to_string(), v.trim_matches('"').to_string()));
+                    }
+                }
+                (name.to_string(), labels)
+            }
+            None => (ident.to_string(), Vec::new()),
+        };
+        out.push(Sample { name, labels, value });
+    }
+    out
+}
+
+fn sample_value(samples: &[Sample], name: &str, want: &[(&str, &str)]) -> Option<f64> {
+    samples
+        .iter()
+        .find(|s| {
+            s.name == name
+                && want.iter().all(|(k, v)| {
+                    s.labels.iter().any(|(lk, lv)| lk == k && lv == v)
+                })
+        })
+        .map(|s| s.value)
+}
+
+/// All `(label value, sample value)` pairs of one family, sorted by label.
+fn sample_by_label(samples: &[Sample], name: &str, label: &str) -> Vec<(String, f64)> {
+    let mut out: Vec<(String, f64)> = samples
+        .iter()
+        .filter(|s| s.name == name)
+        .filter_map(|s| {
+            s.labels.iter().find(|(k, _)| k == label).map(|(_, v)| (v.clone(), s.value))
+        })
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+fn cmd_top(args: &Args) -> Result<(), String> {
+    let addr = parse_addr(args.require("addr")?)?;
+    let interval = std::time::Duration::from_millis(args.get_usize("interval-ms", 2000) as u64);
+    let iterations = args.get_usize("iterations", usize::MAX);
+    let clear = !args.has("no-clear");
+
+    for i in 0.. {
+        if i >= iterations {
+            break;
+        }
+        if i > 0 {
+            std::thread::sleep(interval);
+        }
+        let resp =
+            http_call(addr, "GET", "/metrics", b"").map_err(|e| format!("GET /metrics: {e}"))?;
+        if resp.status != 200 {
+            return Err(format!("GET /metrics: HTTP {}", resp.status));
+        }
+        let s = parse_prom(&resp.text());
+        let events = http_call(addr, "GET", "/events", b"")
+            .map_err(|e| format!("GET /events: {e}"))?
+            .text();
+
+        if clear {
+            print!("\x1b[2J\x1b[H");
+        }
+        let uptime = sample_value(&s, "texid_uptime_seconds", &[]).unwrap_or(0.0);
+        println!("texid top — {addr} — up {uptime:.0}s — poll {}", i + 1);
+
+        let searches = sample_value(&s, "texid_cluster_searches_total", &[]).unwrap_or(0.0);
+        let degraded =
+            sample_value(&s, "texid_cluster_degraded_searches_total", &[]).unwrap_or(0.0);
+        let retries = sample_value(&s, "texid_cluster_retries_total", &[]).unwrap_or(0.0);
+        let queue = sample_value(&s, "texid_search_queue_depth", &[]).unwrap_or(0.0);
+        println!(
+            "searches {searches:.0} ({degraded:.0} degraded, {retries:.0} retries) | queue depth {queue:.0}"
+        );
+
+        let dev = sample_value(&s, "texid_cache_hits_total", &[("tier", "device")]).unwrap_or(0.0);
+        let host = sample_value(&s, "texid_cache_hits_total", &[("tier", "host")]).unwrap_or(0.0);
+        let evict = sample_value(&s, "texid_cache_evictions_total", &[]).unwrap_or(0.0);
+        println!("cache hits: device {dev:.0} / host {host:.0} | evictions {evict:.0}");
+
+        let breakers = sample_by_label(&s, "texid_shard_breaker_state", "shard");
+        if !breakers.is_empty() {
+            let states: Vec<String> = breakers
+                .iter()
+                .map(|(shard, v)| {
+                    let label = match *v as i64 {
+                        0 => "ok",
+                        1 => "SUSPECT",
+                        _ => "DOWN",
+                    };
+                    format!("{shard}:{label}")
+                })
+                .collect();
+            println!("shards: {}", states.join("  "));
+        }
+
+        println!("slo:");
+        for (slo, budget) in sample_by_label(&s, "texid_slo_budget_remaining", "slo") {
+            let short =
+                sample_value(&s, "texid_slo_burn_rate", &[("slo", &slo), ("window", "short")])
+                    .unwrap_or(0.0);
+            let long =
+                sample_value(&s, "texid_slo_burn_rate", &[("slo", &slo), ("window", "long")])
+                    .unwrap_or(0.0);
+            let alarm = if short > texid_obs::FAST_BURN_THRESHOLD
+                && long > texid_obs::FAST_BURN_THRESHOLD
+            {
+                "  << FAST BURN"
+            } else {
+                ""
+            };
+            println!(
+                "  {slo:<24} burn {short:>6.2} (short) {long:>6.2} (long)  budget {:>5.1}%{alarm}",
+                budget * 100.0
+            );
+        }
+
+        let drift = sample_by_label(&s, "texid_model_drift_ratio", "stage");
+        if !drift.is_empty() {
+            let cells: Vec<String> =
+                drift.iter().map(|(stage, r)| format!("{stage} {r:.2}")).collect();
+            println!("model drift (measured/Eq.3-4 predicted): {}", cells.join("  "));
+        }
+
+        let tail: Vec<&str> = events.lines().filter(|l| !l.is_empty()).collect();
+        println!("recent events ({} in ring):", tail.len());
+        for line in tail.iter().rev().take(3).rev() {
+            if let Ok(v) = json_parse(line) {
+                println!(
+                    "  seq={} outcome={} sim={:.0}us wall={:.0}us shards {}/{}/{} coalesced={}",
+                    v.get("seq").and_then(Json::as_u64).unwrap_or(0),
+                    v.get("outcome").and_then(Json::as_str).unwrap_or("?"),
+                    v.get("sim_wall_us").and_then(Json::as_f64).unwrap_or(0.0),
+                    v.get("wall_elapsed_us").and_then(Json::as_f64).unwrap_or(0.0),
+                    v.get("shards_ok").and_then(Json::as_u64).unwrap_or(0),
+                    v.get("shards_failed").and_then(Json::as_u64).unwrap_or(0),
+                    v.get("shards_skipped").and_then(Json::as_u64).unwrap_or(0),
+                    v.get("coalesced").and_then(Json::as_u64).unwrap_or(1),
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_obs(action: Option<&str>, args: &Args) -> Result<(), String> {
+    match action {
+        Some("diff") => {}
+        other => return Err(format!("unknown obs action {other:?} — 'diff' is available\n{USAGE}")),
+    }
+    let baseline_path = PathBuf::from(args.require("baseline")?);
+    let current_path = PathBuf::from(args.require("current")?);
+    let threshold = args.get_f64("threshold", 1.5);
+    if threshold <= 1.0 {
+        return Err("--threshold must be > 1.0".to_string());
+    }
+
+    let read = |p: &Path| -> Result<Json, String> {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display()))?;
+        json_parse(&text).map_err(|e| format!("{}: {e}", p.display()))
+    };
+    let baseline = read(&baseline_path)?;
+    let current = read(&current_path)?;
+
+    let schema = baseline
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{}: no schema field", baseline_path.display()))?
+        .to_string();
+    if current.get("schema").and_then(Json::as_str) != Some(&schema) {
+        return Err("baseline and current have different schemas".to_string());
+    }
+    // Each schema names the metric where higher is better and the fields
+    // that identify a comparable cell across the two runs.
+    let (metric, keys): (&str, &[&str]) = match schema.as_str() {
+        "texid-kernel-bench/v1" => ("gflops", &["kernel", "precision", "m", "batch"]),
+        "texid-throughput-bench/v1" => ("imgs_per_sec", &["clients", "coalesce"]),
+        other => return Err(format!("unknown bench schema {other:?}")),
+    };
+
+    let cell_key = |e: &Json| -> String {
+        keys.iter().map(|k| format!("{k}={} ", e.get(k).map(Json::to_string).unwrap_or_default()))
+            .collect::<String>()
+            .trim_end()
+            .to_string()
+    };
+    let entries = |v: &Json| -> Vec<(String, f64)> {
+        v.get("entries")
+            .and_then(Json::as_arr)
+            .map(|arr| {
+                arr.iter()
+                    .filter_map(|e| {
+                        e.get(metric).and_then(Json::as_f64).map(|m| (cell_key(e), m))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let base_entries = entries(&baseline);
+    let cur_entries: HashMap<String, f64> = entries(&current).into_iter().collect();
+
+    println!("{schema}: {metric} ratio current/baseline (drift beyond {threshold}x flagged)");
+    let mut drifted = 0usize;
+    let mut compared = 0usize;
+    for (key, base) in &base_entries {
+        let Some(cur) = cur_entries.get(key) else {
+            println!("  {key:<52} MISSING from current run");
+            drifted += 1;
+            continue;
+        };
+        if *base <= 0.0 {
+            continue;
+        }
+        compared += 1;
+        let ratio = cur / base;
+        let flag = if ratio > threshold || ratio < 1.0 / threshold { "  << DRIFT" } else { "" };
+        if !flag.is_empty() {
+            drifted += 1;
+        }
+        println!("  {key:<52} {base:>12.1} -> {cur:>12.1}  ({ratio:>5.2}x){flag}");
+    }
+    println!("{compared} cells compared, {drifted} drifted");
+    if args.has("check") && drifted > 0 {
+        return Err(format!("{drifted} cell(s) drifted beyond {threshold}x"));
     }
     Ok(())
 }

@@ -15,6 +15,8 @@
 //! | `/metrics` | GET | — | Prometheus text exposition of all telemetry |
 //! | `/trace/{id}` | GET | — | span tree of one traced request |
 //! | `/traces` | GET | — | recent trace index + dropped-event count |
+//! | `/events` | GET | — | flight recorder: per-query wide events as JSON Lines |
+//! | `/slo` | GET | — | burn-rate status of every configured objective |
 //!
 //! Feature payloads travel as base64-encoded protobuf-style bytes
 //! ([`crate::wire`]), matching the paper's protobuf serialization.
@@ -33,9 +35,9 @@
 //! [`Cluster::search_traced`], so its span tree (cluster → shard legs →
 //! retries → sim-clock engine stages) is retrievable at `GET /trace/<id>`
 //! the moment the response arrives, and the response body carries the id
-//! as `"trace_id"`. `/metrics`, `/trace/…`, and `/traces` are served
-//! untraced so observability polling cannot wash real requests out of
-//! the bounded ring ([`texid_obs::global_ring`]).
+//! as `"trace_id"`. `/metrics`, `/trace/…`, `/traces`, `/events`, and
+//! `/slo` are served untraced so observability polling cannot wash real
+//! requests out of the bounded ring ([`texid_obs::global_ring`]).
 //!
 //! `HEAD` is accepted on every GET route (the HTTP layer strips the body
 //! but keeps `Content-Length`); unsupported methods on known routes get
@@ -48,7 +50,7 @@ use crate::json::{parse, Json};
 use crate::wire;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
-use texid_obs::{global_ring, Clock, SpanRecord, TraceContext, TRACE_HEADER};
+use texid_obs::{global_events, global_ring, Clock, SpanRecord, TraceContext, WideEvent, TRACE_HEADER};
 use texid_sift::FeatureMatrix;
 
 fn err_json(status: u16, msg: &str) -> Response {
@@ -79,9 +81,43 @@ fn allow_for(segments: &[&str]) -> Option<&'static str> {
         ["textures"] => Some("POST"),
         ["textures", _] => Some("DELETE, GET, HEAD, PUT"),
         ["search"] | ["verify"] | ["heal"] => Some("POST"),
-        ["stats"] | ["health"] | ["metrics"] | ["traces"] | ["trace", _] => Some("GET, HEAD"),
+        ["stats"] | ["health"] | ["metrics"] | ["traces"] | ["trace", _] | ["events"]
+        | ["slo"] => Some("GET, HEAD"),
         _ => None,
     }
+}
+
+/// One wide event as a flat JSON object (one `GET /events` line).
+fn event_json(e: &WideEvent) -> Json {
+    Json::obj([
+        ("seq", Json::Num(e.seq as f64)),
+        (
+            "trace_id",
+            if e.trace_id == 0 {
+                Json::Null
+            } else {
+                Json::Str(format!("{:032x}", e.trace_id))
+            },
+        ),
+        ("start_us", Json::Num(e.start_us)),
+        ("wall_elapsed_us", Json::Num(e.wall_elapsed_us)),
+        ("sim_wall_us", Json::Num(e.sim_wall_us)),
+        ("comparisons", Json::Num(e.comparisons as f64)),
+        ("shards_ok", Json::Num(e.shards_ok as f64)),
+        ("shards_failed", Json::Num(e.shards_failed as f64)),
+        ("shards_skipped", Json::Num(e.shards_skipped as f64)),
+        ("degraded", Json::Bool(e.degraded)),
+        ("outcome", Json::Str(e.outcome.to_string())),
+        ("coalesced", Json::Num(e.coalesced as f64)),
+        ("device_batches", Json::Num(e.device_batches as f64)),
+        ("host_batches", Json::Num(e.host_batches as f64)),
+        ("retries", Json::Num(e.retries as f64)),
+        ("h2d_us", Json::Num(e.h2d_us)),
+        ("gemm_us", Json::Num(e.gemm_us)),
+        ("top2_us", Json::Num(e.top2_us)),
+        ("d2h_us", Json::Num(e.d2h_us)),
+        ("post_us", Json::Num(e.post_us)),
+    ])
 }
 
 /// One span as a JSON tree node, children nested and sorted by start.
@@ -124,7 +160,10 @@ pub fn handle(cluster: &Cluster, req: &Request) -> Response {
         .unwrap_or_else(TraceContext::root);
     // Observability reads are not themselves traced: a dashboard polling
     // /metrics or /traces must not wash real requests out of the ring.
-    let traced = !matches!(segments.as_slice(), ["metrics"] | ["trace", ..] | ["traces"]);
+    let traced = !matches!(
+        segments.as_slice(),
+        ["metrics"] | ["trace", ..] | ["traces"] | ["events"] | ["slo"]
+    );
     let start_us = texid_obs::wall_now_us();
     let started = std::time::Instant::now();
     let resp = route(cluster, method, &segments, req, &ctx);
@@ -304,10 +343,23 @@ fn route(
                 ]),
                 None => Json::Null,
             };
+            let drift = Json::Arr(
+                s.drift
+                    .iter()
+                    .map(|d| {
+                        Json::obj([
+                            ("stage", Json::Str(d.stage.clone())),
+                            ("ratio", Json::Num(d.ratio)),
+                            ("samples", Json::Num(d.samples as f64)),
+                        ])
+                    })
+                    .collect(),
+            );
             Response::json(
                 200,
                 Json::obj([
                     ("wal", wal),
+                    ("drift", drift),
                     ("containers", Json::Num(s.containers as f64)),
                     ("textures", Json::Num(s.textures as f64)),
                     ("store_bytes", Json::Num(s.store_bytes as f64)),
@@ -327,7 +379,36 @@ fn route(
             )
         }
         ("GET", ["metrics"]) => {
+            texid_obs::touch_process_metrics();
             Response::prometheus(200, texid_obs::global().render_prometheus())
+        }
+        ("GET", ["events"]) => {
+            // JSON Lines, oldest first: tail-friendly, grep-friendly.
+            let mut body = String::new();
+            for e in global_events().snapshot() {
+                body.push_str(&event_json(&e).to_string());
+                body.push('\n');
+            }
+            Response::ndjson(200, body)
+        }
+        ("GET", ["slo"]) => {
+            let slos: Vec<Json> = cluster
+                .slo_status()
+                .iter()
+                .map(|s| {
+                    Json::obj([
+                        ("name", Json::Str(s.name.clone())),
+                        ("target", Json::Num(s.target)),
+                        ("good", Json::Num(s.good as f64)),
+                        ("bad", Json::Num(s.bad as f64)),
+                        ("short_burn", Json::Num(s.short_burn)),
+                        ("long_burn", Json::Num(s.long_burn)),
+                        ("budget_remaining", Json::Num(s.budget_remaining)),
+                        ("fast_burn", Json::Bool(s.fast_burn)),
+                    ])
+                })
+                .collect();
+            Response::json(200, Json::obj([("slos", Json::Arr(slos))]).to_string())
         }
         ("GET", ["health"]) => {
             let shards = cluster.health();
@@ -366,11 +447,29 @@ fn route(
                 ]),
                 None => Json::obj([("durable", Json::Bool(false))]),
             };
+            // SLO burn status rides along too: "are we paging" and "is a
+            // shard down" are the same triage conversation.
+            let slos = Json::Arr(
+                cluster
+                    .slo_status()
+                    .iter()
+                    .map(|s| {
+                        Json::obj([
+                            ("name", Json::Str(s.name.clone())),
+                            ("short_burn", Json::Num(s.short_burn)),
+                            ("long_burn", Json::Num(s.long_burn)),
+                            ("budget_remaining", Json::Num(s.budget_remaining)),
+                            ("fast_burn", Json::Bool(s.fast_burn)),
+                        ])
+                    })
+                    .collect(),
+            );
             Response::json(
                 status,
                 Json::obj([
                     ("status", Json::Str(verdict.to_string())),
                     ("store", store),
+                    ("slos", slos),
                     ("shards", shard_list),
                 ])
                 .to_string(),
@@ -501,9 +600,13 @@ fn route(
 
 /// Spawn the REST service bound to `addr` (use `127.0.0.1:0` in tests).
 pub fn serve(cluster: Arc<Cluster>, addr: &str) -> std::io::Result<HttpServer> {
-    // Touch the global ring now so `texid_trace_events_dropped_total`
-    // exists on the very first /metrics scrape, searches or not.
+    // Touch the global ring, flight recorder, and process-identity gauges
+    // now so `texid_trace_events_dropped_total`, `texid_events_*`,
+    // `texid_build_info`, and `texid_uptime_seconds` all exist on the very
+    // first /metrics scrape, searches or not.
     let _ = global_ring();
+    let _ = global_events();
+    texid_obs::touch_process_metrics();
     HttpServer::spawn(addr, Arc::new(move |req: &Request| handle(&cluster, req)))
 }
 
@@ -787,6 +890,88 @@ mod tests {
             metrics.text().contains("texid_trace_events_dropped_total"),
             "dropped counter must be exported"
         );
+    }
+
+    #[test]
+    fn events_slo_and_drift_routes() {
+        let cluster = test_cluster();
+        let server = serve(cluster, "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        for id in 0..2u64 {
+            let body = format!(r#"{{"id": {id}, "features": "{}"}}"#, features_b64(id, 128));
+            http_call(addr, "POST", "/textures", body.as_bytes()).unwrap();
+        }
+        let body = format!(r#"{{"features": "{}", "top": 2}}"#, features_b64(0, 256));
+        assert_eq!(http_call(addr, "POST", "/search", body.as_bytes()).unwrap().status, 200);
+
+        // /events streams the flight recorder as JSON Lines. The ring is
+        // process-global, so other tests' searches may appear too — assert
+        // on shape, not count.
+        let resp = http_call(addr, "GET", "/events", b"").unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("content-type"), Some("application/x-ndjson"));
+        let text = resp.text();
+        let lines: Vec<&str> = text.lines().filter(|l| !l.is_empty()).collect();
+        assert!(!lines.is_empty(), "search should have filed a wide event");
+        for line in &lines {
+            let v = parse(line).expect("each line is standalone JSON");
+            assert!(v.get("seq").and_then(Json::as_u64).is_some(), "{line}");
+            assert!(v.get("outcome").and_then(Json::as_str).is_some(), "{line}");
+            assert!(v.get("sim_wall_us").and_then(Json::as_f64).is_some(), "{line}");
+        }
+        assert!(text.contains(r#""outcome":"ok""#), "{text}");
+
+        // /slo reports both default objectives with burn-rate fields.
+        let resp = http_call(addr, "GET", "/slo", b"").unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        let v = parse(&resp.text()).unwrap();
+        let slos = v.get("slos").unwrap().as_arr().unwrap();
+        for name in ["search-latency", "search-availability"] {
+            let s = slos
+                .iter()
+                .find(|s| s.get("name").and_then(Json::as_str) == Some(name))
+                .unwrap_or_else(|| panic!("{name} missing: {}", resp.text()));
+            assert!(s.get("good").and_then(Json::as_u64).is_some());
+            assert!(s.get("bad").and_then(Json::as_u64).is_some());
+            assert!(s.get("short_burn").and_then(Json::as_f64).is_some());
+            assert!(s.get("long_burn").and_then(Json::as_f64).is_some());
+            assert!(s.get("budget_remaining").and_then(Json::as_f64).is_some());
+            assert!(s.get("fast_burn").and_then(Json::as_bool).is_some());
+        }
+
+        // /stats carries the drift sentry; /health surfaces SLO posture.
+        let stats = http_call(addr, "GET", "/stats", b"").unwrap();
+        let v = parse(&stats.text()).unwrap();
+        let drift = v.get("drift").expect("stats exposes drift").as_arr().unwrap();
+        assert_eq!(drift.len(), 6, "{}", stats.text());
+        for d in drift {
+            assert!(d.get("stage").and_then(Json::as_str).is_some());
+            assert!(d.get("ratio").and_then(Json::as_f64).is_some());
+            assert!(d.get("samples").and_then(Json::as_u64).is_some());
+        }
+        let health = http_call(addr, "GET", "/health", b"").unwrap();
+        let v = parse(&health.text()).unwrap();
+        let slos = v.get("slos").expect("health exposes slos").as_arr().unwrap();
+        assert_eq!(slos.len(), 2, "{}", health.text());
+
+        // New routes speak GET/HEAD only, like the other read routes.
+        for path in ["/events", "/slo"] {
+            let resp = http_call(addr, "PATCH", path, b"").unwrap();
+            assert_eq!(resp.status, 405, "{path}");
+            assert_eq!(resp.header("allow"), Some("GET, HEAD"), "{path}");
+            let resp = http_call(addr, "HEAD", path, b"").unwrap();
+            assert_eq!(resp.status, 200, "{path}");
+        }
+
+        // Process-identity metrics ride every scrape.
+        let metrics = http_call(addr, "GET", "/metrics", b"").unwrap();
+        let text = metrics.text();
+        assert!(text.contains("texid_build_info{"), "build info gauge exported");
+        assert!(text.contains("texid_uptime_seconds"), "uptime gauge exported");
+        assert!(text.contains("texid_events_recorded_total"), "recorder counters exported");
+        assert!(text.contains("texid_events_dropped_total"), "drop counter exported");
+        assert!(text.contains("texid_slo_burn_rate{"), "burn-rate gauges exported");
+        assert!(text.contains("texid_model_drift_ratio{"), "drift gauges exported");
     }
 
     #[test]

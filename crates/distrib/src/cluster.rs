@@ -39,7 +39,7 @@
 //! per-shard replay stats ([`ShardReplay`]) through the heal report, the
 //! `texid_replay_*` metrics, and the trace ring.
 
-use crate::faults::{Backoff, FaultKind, FaultOp, FaultPlan};
+use crate::faults::{Backoff, FaultKind, FaultOp, FaultPlan, Stage};
 use crate::kv::KvStore;
 use crate::wire;
 use parking_lot::{Mutex, RwLock};
@@ -51,7 +51,10 @@ use texid_core::{CoalesceConfig, Coalescer, Engine, EngineConfig, SearchReport};
 use texid_gpu::{DeviceSpec, GpuSim};
 use texid_knn::geometry::{verify_matches, RansacParams};
 use texid_knn::{match_pair, ExecMode, FeatureBlock, MatchConfig};
-use texid_obs::{global_ring, Counter, Gauge, Histogram, Registry, TraceContext, TraceRing};
+use texid_obs::{
+    global_events, global_ring, Counter, DriftSentry, DriftStatus, Gauge, Histogram, Registry,
+    SloEngine, SloSpec, SloStatus, TraceContext, TraceRing, WideEvent,
+};
 use texid_sift::FeatureMatrix;
 use texid_store::{
     crc32c, DurableLog, LogConfig, ReplayStats, SnapshotFault, Volume, WalStats, WriteFault,
@@ -91,6 +94,12 @@ struct Telemetry {
     wal_appends: Gauge,
     wal_bytes: Gauge,
     wal_snapshots: Gauge,
+    /// The process-wide sim-clock stage histograms (`h2d`, `gemm`,
+    /// `top2`, `d2h`, `post`, `total`) the engines observe into. The
+    /// cluster stamps OpenMetrics exemplars on them with *measured*
+    /// (perturbation-inclusive) per-stage values, so a `/metrics` bucket
+    /// links to the trace of a query that actually landed there.
+    stage_sim: [Histogram; 6],
 }
 
 impl Telemetry {
@@ -223,6 +232,17 @@ impl Telemetry {
                 "Checksummed snapshots written by feature-store compaction since startup.",
                 &[],
             ),
+            stage_sim: {
+                let g = texid_obs::global();
+                [
+                    g.stage_duration("h2d", "sim"),
+                    g.stage_duration("gemm", "sim"),
+                    g.stage_duration("top2", "sim"),
+                    g.stage_duration("d2h", "sim"),
+                    g.stage_duration("post", "sim"),
+                    g.stage_duration("total", "sim"),
+                ]
+            },
         }
     }
 }
@@ -275,6 +295,9 @@ pub struct ClusterConfig {
     pub coalesce: CoalesceConfig,
     /// Feature-store durability.
     pub store: StoreConfig,
+    /// Serving objectives tracked by the SLO engine (burn rates exposed
+    /// as `texid_slo_*` metrics and `GET /slo`).
+    pub slos: Vec<SloSpec>,
 }
 
 impl Default for ClusterConfig {
@@ -285,6 +308,12 @@ impl Default for ClusterConfig {
             resilience: ResilienceConfig::default(),
             coalesce: CoalesceConfig::default(),
             store: StoreConfig::default(),
+            slos: vec![
+                // 99% of searches under 100 ms simulated makespan.
+                SloSpec::latency("search-latency", 100_000.0, 0.99),
+                // 99.9% of searches reach at least one shard.
+                SloSpec::availability("search-availability", 0.999),
+            ],
         }
     }
 }
@@ -564,6 +593,9 @@ pub struct ClusterStats {
     pub gpu_efficiency: f64,
     /// Feature-store WAL counters (None when the store is ephemeral).
     pub wal: Option<WalStats>,
+    /// Per-stage cost-model drift (EWMA of measured/predicted duration;
+    /// 1.0 = the Eq. 3/4 model is honest).
+    pub drift: Vec<DriftStatus>,
 }
 
 /// Per-shard dispatch decision for one search, fixed *before* the scatter
@@ -573,7 +605,12 @@ enum LegPlan {
     /// Breaker open: shard sits this search out.
     Skip,
     /// Dispatch, with any pre-drawn injected behavior.
-    Run { crash: bool, straggle: Option<f64>, backoff_us: f64 },
+    Run {
+        crash: bool,
+        straggle: Option<f64>,
+        stage_stall: Option<(Stage, f64)>,
+        backoff_us: f64,
+    },
     /// Transient-fault retries already exhausted: fail without dispatching.
     FailFast,
 }
@@ -590,11 +627,18 @@ enum StoreRead {
     Corrupt,
 }
 
-/// Per-shard gathered outcome of one search.
+/// What one dispatched search leg returns: ranked ids, the measured
+/// report, and the predicted (unperturbed) report.
+type LegResult = Result<(Vec<(u64, usize)>, SearchReport, SearchReport), ClusterError>;
+
+/// Per-shard gathered outcome of one search. `Answered` carries the
+/// *measured* report (with any injected straggle/stall/backoff applied)
+/// and the *predicted* one (the unperturbed analytic model output for
+/// the same query shape) — the pair the drift sentry compares.
 enum Gathered {
     Skipped,
     Failed,
-    Answered(Vec<(u64, usize)>, SearchReport),
+    Answered(Vec<(u64, usize)>, SearchReport, SearchReport),
 }
 
 /// One GPU container: its engine behind a read/write lock (searches share
@@ -625,6 +669,8 @@ pub struct Cluster {
     degraded_searches: AtomicU64,
     retries: AtomicU64,
     telemetry: Telemetry,
+    drift: DriftSentry,
+    slo: SloEngine,
 }
 
 impl Cluster {
@@ -657,6 +703,8 @@ impl Cluster {
             .collect();
         let shard_health = (0..cfg.containers).map(|_| ShardState::default()).collect();
         let telemetry = Telemetry::register(registry, cfg.containers);
+        let drift = DriftSentry::register(registry);
+        let slo = SloEngine::register(cfg.slos.clone(), registry);
         let store = if cfg.store.durable {
             KvStore::durable(DurableLog::new(
                 Volume::in_memory(),
@@ -680,6 +728,8 @@ impl Cluster {
             degraded_searches: AtomicU64::new(0),
             retries: AtomicU64::new(0),
             telemetry,
+            drift,
+            slo,
         }
     }
 
@@ -725,7 +775,7 @@ impl Cluster {
                     .tag("track", &format!("shard {shard}"))
                     .tag("outcome", "failed (retries exhausted)"),
             ),
-            (LegPlan::Run { .. }, Gathered::Answered(_, report)) => {
+            (LegPlan::Run { .. }, Gathered::Answered(_, report, _)) => {
                 let track = format!("shard {shard} (sim)");
                 let tags = |stage: &str| {
                     vec![
@@ -1006,6 +1056,10 @@ impl Cluster {
     ) -> ClusterSearchResult {
         self.total_searches.fetch_add(1, Ordering::Relaxed);
         self.telemetry.searches.inc();
+        let search_started = Instant::now();
+        // One wide event per search, traced or not; filled in as the
+        // phases complete and recorded into the flight recorder at the end.
+        let mut event = WideEvent::begin(parent.map(|p| p.trace_id).unwrap_or(0));
         let ring: Option<&'static TraceRing> = parent.map(|_| global_ring());
         let cluster_ctx = parent.map(|p| p.child());
         let _cluster_span = cluster_ctx.as_ref().map(|c| {
@@ -1037,7 +1091,12 @@ impl Cluster {
                     }
                     st.probes += 1; // half-open probe
                 }
-                let mut plan = LegPlan::Run { crash: false, straggle: None, backoff_us: 0.0 };
+                let mut plan = LegPlan::Run {
+                    crash: false,
+                    straggle: None,
+                    stage_stall: None,
+                    backoff_us: 0.0,
+                };
                 if let Some(fp) = &self.fault_plan {
                     let mut transient_fails = 0u32;
                     loop {
@@ -1051,13 +1110,28 @@ impl Cluster {
                                 self.note_retry(ring.zip(leg_ctx).map(|(r, c)| (r, c, i)));
                             }
                             Some(FaultKind::ShardCrash) => {
-                                plan = LegPlan::Run { crash: true, straggle: None, backoff_us: 0.0 };
+                                plan = LegPlan::Run {
+                                    crash: true,
+                                    straggle: None,
+                                    stage_stall: None,
+                                    backoff_us: 0.0,
+                                };
                                 break;
                             }
                             Some(FaultKind::Straggler { factor }) => {
                                 plan = LegPlan::Run {
                                     crash: false,
                                     straggle: Some(factor),
+                                    stage_stall: None,
+                                    backoff_us: backoff.total_us(transient_fails),
+                                };
+                                break;
+                            }
+                            Some(FaultKind::StageStall { stage, factor }) => {
+                                plan = LegPlan::Run {
+                                    crash: false,
+                                    straggle: None,
+                                    stage_stall: Some((stage, factor)),
                                     backoff_us: backoff.total_us(transient_fails),
                                 };
                                 break;
@@ -1066,12 +1140,14 @@ impl Cluster {
                                 plan = LegPlan::Run {
                                     crash: false,
                                     straggle: None,
+                                    stage_stall: None,
                                     backoff_us: backoff.total_us(transient_fails),
                                 };
                                 break;
                             }
                         }
                     }
+                    event.retries += transient_fails.min(backoff.max_retries);
                 }
                 plans.push(plan);
             }
@@ -1086,10 +1162,10 @@ impl Cluster {
                 .zip(&plans)
                 .enumerate()
                 .map(|(i, (shard, plan))| match *plan {
-                    LegPlan::Run { crash, straggle, backoff_us } => {
+                    LegPlan::Run { crash, straggle, stage_stall, backoff_us } => {
                         let leg_ctx = leg_ctxs[i];
                         Some(scope.spawn(
-                            move || -> Result<(Vec<(u64, usize)>, SearchReport), ClusterError> {
+                            move || -> LegResult {
                                 // The guard records on drop even if this
                                 // leg panics below, so crashed legs stay
                                 // visible in the span tree.
@@ -1120,12 +1196,31 @@ impl Cluster {
                                 // Concurrent searches coalesce into one
                                 // multi-query sweep under a shared read lock.
                                 let mut r = shard.coalescer.search(&shard.engine, query);
+                                // The unperturbed report *is* the analytic
+                                // Eq. 3/4 prediction for this exact query
+                                // shape; everything below perturbs only
+                                // the measured copy, and the drift sentry
+                                // compares the two.
+                                let predicted = r.report;
+                                if let Some((stage, factor)) = stage_stall {
+                                    let slot = match stage {
+                                        Stage::H2d => &mut r.report.h2d_us,
+                                        Stage::Gemm => &mut r.report.gemm_us,
+                                        Stage::Top2 => &mut r.report.sort_us,
+                                        Stage::D2h => &mut r.report.d2h_us,
+                                        Stage::Post => &mut r.report.post_us,
+                                    };
+                                    let delta = *slot * (factor - 1.0);
+                                    *slot *= factor;
+                                    r.report.serial_total_us += delta;
+                                    r.report.total_us += delta;
+                                }
                                 if let Some(factor) = straggle {
                                     r.report.total_us *= factor;
                                     r.report.serial_total_us *= factor;
                                 }
                                 r.report.total_us += backoff_us;
-                                Ok((r.ranked, r.report))
+                                Ok((r.ranked, r.report, predicted))
                             },
                         ))
                     }
@@ -1137,7 +1232,9 @@ impl Cluster {
                     (LegPlan::Skip, _) => Gathered::Skipped,
                     (LegPlan::FailFast, _) => Gathered::Failed,
                     (LegPlan::Run { .. }, Some(h)) => match h.join() {
-                        Ok(Ok((ranked, report))) => Gathered::Answered(ranked, report),
+                        Ok(Ok((ranked, report, predicted))) => {
+                            Gathered::Answered(ranked, report, predicted)
+                        }
                         // Ok(Err(_)): engine error; Err(_): the leg panicked.
                         _ => Gathered::Failed,
                     },
@@ -1155,9 +1252,40 @@ impl Cluster {
             let mut states = self.shard_health.lock();
             for (i, (st, g)) in states.iter_mut().zip(&gathered).enumerate() {
                 match g {
-                    Gathered::Answered(_, report) => {
+                    Gathered::Answered(_, report, predicted) => {
                         st.record_success();
                         self.telemetry.shard_latency[i].observe(report.total_us);
+                        // Feed the drift sentry the (measured, predicted)
+                        // pair per stage, and — for traced searches —
+                        // stamp exemplars with the measured values so
+                        // `/metrics` buckets link to `GET /trace/{id}`.
+                        self.drift.observe(&[
+                            (report.h2d_us, predicted.h2d_us),
+                            (report.gemm_us, predicted.gemm_us),
+                            (report.sort_us, predicted.sort_us),
+                            (report.d2h_us, predicted.d2h_us),
+                            (report.post_us, predicted.post_us),
+                            (report.total_us, predicted.total_us),
+                        ]);
+                        if let Some(p) = parent {
+                            let tid = p.trace_id;
+                            let stage_sim = &self.telemetry.stage_sim;
+                            stage_sim[0].record_exemplar(report.h2d_us, tid);
+                            stage_sim[1].record_exemplar(report.gemm_us, tid);
+                            stage_sim[2].record_exemplar(report.sort_us, tid);
+                            stage_sim[3].record_exemplar(report.d2h_us, tid);
+                            stage_sim[4].record_exemplar(report.post_us, tid);
+                            stage_sim[5].record_exemplar(report.total_us, tid);
+                            self.telemetry.shard_latency[i].record_exemplar(report.total_us, tid);
+                        }
+                        event.coalesced = event.coalesced.max(report.coalesced_queries as u32);
+                        event.device_batches += report.device_batches as u64;
+                        event.host_batches += report.host_batches as u64;
+                        event.h2d_us += report.h2d_us;
+                        event.gemm_us += report.gemm_us;
+                        event.top2_us += report.sort_us;
+                        event.d2h_us += report.d2h_us;
+                        event.post_us += report.post_us;
                     }
                     Gathered::Failed => {
                         st.record_failure(self.cfg.resilience.trip_threshold);
@@ -1187,7 +1315,7 @@ impl Cluster {
         let mut results: Vec<(u64, usize)> = gathered
             .iter()
             .filter_map(|g| match g {
-                Gathered::Answered(ranked, _) => Some(ranked),
+                Gathered::Answered(ranked, ..) => Some(ranked),
                 _ => None,
             })
             .flat_map(|ranked| ranked.iter().copied())
@@ -1202,7 +1330,7 @@ impl Cluster {
         let shard_reports: Vec<SearchReport> = gathered
             .iter()
             .filter_map(|g| match g {
-                Gathered::Answered(_, report) => Some(*report),
+                Gathered::Answered(_, report, _) => Some(*report),
                 _ => None,
             })
             .collect();
@@ -1241,6 +1369,27 @@ impl Cluster {
         if let Some(plan) = &self.fault_plan {
             self.telemetry.faults_injected.set(plan.injected() as f64);
         }
+
+        // Serving objectives: a search is available if any shard answered,
+        // and its latency is the simulated makespan.
+        self.slo.record(wall_us, shards_ok > 0);
+
+        // Seal and file the wide event — one per search, always.
+        event.wall_elapsed_us = search_started.elapsed().as_secs_f64() * 1e6;
+        event.sim_wall_us = wall_us;
+        event.comparisons = comparisons as u64;
+        event.shards_ok = shards_ok as u32;
+        event.shards_failed = shards_failed as u32;
+        event.shards_skipped = shards_skipped as u32;
+        event.degraded = degraded;
+        event.outcome = if shards_ok == 0 {
+            "failed"
+        } else if degraded {
+            "degraded"
+        } else {
+            "ok"
+        };
+        global_events().record(event);
 
         ClusterSearchResult {
             results,
@@ -1461,7 +1610,14 @@ impl Cluster {
             achieved_tflops: self.telemetry.achieved_tflops.get(),
             gpu_efficiency: self.telemetry.gpu_efficiency.get(),
             wal,
+            drift: self.drift.status(),
         }
+    }
+
+    /// Point-in-time burn-rate status of every configured objective (the
+    /// REST `/slo` payload, also surfaced in `/health`).
+    pub fn slo_status(&self) -> Vec<SloStatus> {
+        self.slo.status()
     }
 }
 
@@ -1549,6 +1705,80 @@ mod tests {
             assert!(stages.iter().all(|s| s.tag("track").unwrap().ends_with("(sim)")));
         }
         assert!(spans.iter().all(|s| s.name != "retry"), "no faults, no retry spans");
+    }
+
+    #[test]
+    fn stage_stall_flags_drift_on_one_stage_only() {
+        // Acceptance: a 2x slowdown injected into ONE stage must push
+        // texid_model_drift_ratio{stage="gemm"} past 1.5 while every
+        // unperturbed stage stays within +-10% of 1.0.
+        let reg = Registry::new();
+        let plan = FaultPlan::new(7).stall_stage(0, Stage::Gemm, 2.0, 100);
+        let cluster = Cluster::with_faults_in_registry(small_config(1), Some(plan), &reg);
+        for id in 0..4u64 {
+            cluster.add_texture(id, &features(id, 128)).unwrap();
+        }
+        for _ in 0..5 {
+            cluster.search(&query_for(1), 2);
+        }
+        let drift = cluster.stats().drift;
+        let ratio = |s: &str| drift.iter().find(|d| d.stage == s).unwrap().ratio;
+        assert!(ratio("gemm") > 1.5, "gemm drift {}", ratio("gemm"));
+        for stage in ["h2d", "top2", "d2h", "post"] {
+            assert!((ratio(stage) - 1.0).abs() <= 0.1, "{stage} drifted: {}", ratio(stage));
+        }
+        assert!(ratio("total") > 1.0, "the stall shows up in total too: {}", ratio("total"));
+        let text = reg.render_prometheus();
+        assert!(text.contains("texid_model_drift_ratio{stage=\"gemm\"} 2"), "{text}");
+        assert!(text.contains("texid_model_drift_ratio{stage=\"h2d\"} 1\n"), "{text}");
+    }
+
+    #[test]
+    fn slo_status_tracks_good_and_failed_searches() {
+        let reg = Registry::new();
+        let plan = FaultPlan::new(3).crash_shard(0);
+        let cluster = Cluster::with_faults_in_registry(small_config(1), Some(plan), &reg);
+        for id in 0..2u64 {
+            cluster.add_texture(id, &features(id, 128)).unwrap();
+        }
+        cluster.search(&query_for(0), 1); // injected crash: unavailable
+        cluster.search(&query_for(0), 1); // healthy
+        let status = cluster.slo_status();
+        let avail = status.iter().find(|s| s.name == "search-availability").unwrap();
+        assert_eq!((avail.good, avail.bad), (1, 1));
+        assert!(avail.short_burn > 0.0, "a failed search burns budget");
+        let lat = status.iter().find(|s| s.name == "search-latency").unwrap();
+        assert_eq!(lat.good, 1, "the healthy search lands under 100 ms simulated");
+        assert_eq!(lat.bad, 1, "an unavailable search is a latency miss too");
+        let text = reg.render_prometheus();
+        assert!(text.contains("texid_slo_bad_total{slo=\"search-availability\"} 1"), "{text}");
+        assert!(text.contains("texid_slo_burn_rate{slo=\"search-availability\",window=\"short\"}"));
+    }
+
+    #[test]
+    fn every_search_files_a_wide_event() {
+        let cluster = small_cluster(2);
+        for id in 0..4u64 {
+            cluster.add_texture(id, &features(id, 128)).unwrap();
+        }
+        let root = TraceContext::root();
+        cluster.search_traced(&query_for(2), 2, Some(&root));
+        let ev = global_events()
+            .snapshot()
+            .into_iter()
+            .find(|e| e.trace_id == root.trace_id)
+            .expect("traced search filed a wide event carrying its trace id");
+        assert_eq!(ev.outcome, "ok");
+        assert_eq!(ev.shards_ok, 2);
+        assert!(!ev.degraded);
+        assert!(ev.sim_wall_us > 0.0);
+        assert!(ev.gemm_us > 0.0, "per-stage sums populated");
+        assert!(ev.comparisons > 0);
+        assert!(ev.coalesced >= 1);
+        // Untraced searches still file events (trace_id 0).
+        let before = global_events().recorded();
+        cluster.search(&query_for(2), 2);
+        assert!(global_events().recorded() > before);
     }
 
     #[test]

@@ -32,6 +32,25 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// One simulated pipeline stage, for stage-targeted faults. Used by
+/// [`FaultKind::StageStall`] to slow a single stage of a shard's search
+/// (e.g. only the GEMM), which is the knob the cost-model drift sentry's
+/// acceptance test turns: a one-stage slowdown must move exactly one
+/// `texid_model_drift_ratio{stage}` gauge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// Host-to-device descriptor transfer.
+    H2d,
+    /// The matching GEMM.
+    Gemm,
+    /// Top-2 neighbor selection.
+    Top2,
+    /// Device-to-host result transfer.
+    D2h,
+    /// Ratio-test vote postprocess.
+    Post,
+}
+
 /// What kind of fault fires at an operation point.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum FaultKind {
@@ -40,6 +59,15 @@ pub enum FaultKind {
     /// The shard completes but its simulated time is scaled by `factor`.
     Straggler {
         /// Slowdown multiplier applied to the shard's simulated time.
+        factor: f64,
+    },
+    /// The shard completes but one pipeline stage's simulated time is
+    /// scaled by `factor` — a kernel-level regression (clock throttle,
+    /// cache thrash) rather than a whole-node straggler.
+    StageStall {
+        /// Which stage slows down.
+        stage: Stage,
+        /// Slowdown multiplier applied to that stage's simulated time.
         factor: f64,
     },
     /// A feature-store read finds nothing (entry lost).
@@ -229,6 +257,14 @@ impl FaultPlan {
     /// Slow `shard` down by `factor` on its next `count` search legs.
     pub fn straggle_shard(self, shard: usize, factor: f64, count: u64) -> Self {
         self.rule(OpClass::SearchShard, Some(shard), FaultKind::Straggler { factor }, 0, count)
+    }
+
+    /// Slow one pipeline `stage` of `shard`'s next `count` search legs by
+    /// `factor`, leaving the other stages untouched. Scripted-only (no
+    /// chaos probability), so adding it never perturbs existing seeded
+    /// draw sequences.
+    pub fn stall_stage(self, shard: usize, stage: Stage, factor: f64, count: u64) -> Self {
+        self.rule(OpClass::SearchShard, Some(shard), FaultKind::StageStall { stage, factor }, 0, count)
     }
 
     /// Fail `shard`'s next `count` search legs with transient errors.
@@ -467,6 +503,21 @@ mod tests {
                 other => panic!("expected straggler, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn stage_stall_targets_one_shard_and_stage() {
+        let plan = FaultPlan::new(1).stall_stage(1, Stage::Gemm, 2.0, 2);
+        assert_eq!(plan.decide(FaultOp::search_shard(0)), None);
+        assert_eq!(
+            plan.decide(FaultOp::search_shard(1)),
+            Some(FaultKind::StageStall { stage: Stage::Gemm, factor: 2.0 })
+        );
+        assert_eq!(
+            plan.decide(FaultOp::search_shard(1)),
+            Some(FaultKind::StageStall { stage: Stage::Gemm, factor: 2.0 })
+        );
+        assert_eq!(plan.decide(FaultOp::search_shard(1)), None, "budget exhausted");
     }
 
     #[test]

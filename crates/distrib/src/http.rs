@@ -79,6 +79,17 @@ impl Response {
         }
     }
 
+    /// A JSON Lines response (`application/x-ndjson`): one complete JSON
+    /// object per line, tail-friendly (`GET /events`).
+    pub fn ndjson(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/x-ndjson".to_string(),
+            headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
     /// A plain-text response in Prometheus exposition content type
     /// (`GET /metrics`).
     pub fn prometheus(status: u16, body: String) -> Response {

@@ -44,5 +44,5 @@ pub use cluster::{
     Quarantine, QuarantineReason, RecoveryReport, ResilienceConfig, ShardHealth, ShardReplay,
     ShardStatus, StoreConfig,
 };
-pub use faults::{Backoff, FaultKind, FaultOp, FaultPlan, FaultProbs, OpClass};
+pub use faults::{Backoff, FaultKind, FaultOp, FaultPlan, FaultProbs, OpClass, Stage};
 pub use kv::KvStore;

@@ -1,7 +1,8 @@
-//! Fixed-bucket latency histograms with percentile extraction.
+//! Fixed-bucket latency histograms with percentile extraction, a running
+//! max, and per-bucket OpenMetrics exemplars.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Default latency bucket upper bounds, in microseconds: 1 µs … 10 s in a
 /// 1–2–5 ladder. Wide enough for a single kernel launch (~µs) through a
@@ -24,6 +25,13 @@ struct Inner {
     counts: Vec<AtomicU64>,
     count: AtomicU64,
     sum_scaled: AtomicU64,
+    /// Largest non-negative observation so far, stored as `f64::to_bits`
+    /// (order-preserving for non-negative floats, so `fetch_max` works).
+    max_bits: AtomicU64,
+    /// Per-bucket exemplar cells: the most recent `(trace_id, value)`
+    /// stamped into that bucket via [`Histogram::record_exemplar`]
+    /// (`trace_id == 0` means unset). One per bucket including overflow.
+    exemplars: Vec<Mutex<(u128, f64)>>,
 }
 
 /// A lock-free histogram over fixed bucket boundaries.
@@ -66,29 +74,71 @@ impl Histogram {
             "bucket bounds must be finite and strictly increasing"
         );
         let counts = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        let exemplars = (0..=bounds.len()).map(|_| Mutex::new((0u128, 0.0f64))).collect();
         Histogram {
             inner: Arc::new(Inner {
                 bounds: bounds.to_vec(),
                 counts,
                 count: AtomicU64::new(0),
                 sum_scaled: AtomicU64::new(0),
+                max_bits: AtomicU64::new(0),
+                exemplars,
             }),
         }
+    }
+
+    /// Bucket index for a value (`le` semantics; last slot is overflow).
+    fn bucket_of(&self, v: f64) -> usize {
+        self.inner
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.inner.bounds.len())
     }
 
     /// Record one observation. A value exactly on a bound falls into that
     /// bucket (bounds are inclusive upper limits, `le` semantics).
     pub fn observe(&self, v: f64) {
-        let i = self
-            .inner
-            .bounds
-            .iter()
-            .position(|&b| v <= b)
-            .unwrap_or(self.inner.bounds.len());
+        let i = self.bucket_of(v);
         self.inner.counts[i].fetch_add(1, Ordering::Relaxed);
         self.inner.count.fetch_add(1, Ordering::Relaxed);
         let scaled = (v.max(0.0) * SUM_SCALE).round() as u64;
         self.inner.sum_scaled.fetch_add(scaled, Ordering::Relaxed);
+        // Non-negative f64 bit patterns order like the floats themselves,
+        // so one relaxed fetch_max keeps the running maximum lock-free.
+        self.inner.max_bits.fetch_max(v.max(0.0).to_bits(), Ordering::Relaxed);
+    }
+
+    /// Stamp an exemplar — the trace id of a request whose observation
+    /// landed (or would land) in `v`'s bucket — **without** recounting the
+    /// value. Callers that already fed `v` through [`Histogram::observe`]
+    /// (possibly from another handle to the same series) use this to link
+    /// the bucket to `GET /trace/{id}` with no double counting.
+    ///
+    /// The stamp is best-effort: a contended cell is skipped rather than
+    /// blocking the hot path, and `trace_id == 0` stamps are ignored.
+    pub fn record_exemplar(&self, v: f64, trace_id: u128) {
+        if trace_id == 0 {
+            return;
+        }
+        if let Ok(mut cell) = self.inner.exemplars[self.bucket_of(v)].try_lock() {
+            *cell = (trace_id, v);
+        }
+    }
+
+    /// The exemplar stamped into bucket `i` (overflow bucket last), or
+    /// `None` when the bucket never received one.
+    pub fn exemplar(&self, i: usize) -> Option<(u128, f64)> {
+        let cell = self.inner.exemplars.get(i)?.lock().ok()?;
+        (cell.0 != 0).then_some(*cell)
+    }
+
+    /// Largest observation so far (0 when empty; negative observations
+    /// clamp to 0, matching the sum's behavior). Rendered in exposition as
+    /// the `_max` series, so observations past the top finite bucket keep
+    /// their magnitude instead of vanishing into `le="+Inf"`.
+    pub fn max(&self) -> f64 {
+        f64::from_bits(self.inner.max_bits.load(Ordering::Relaxed))
     }
 
     /// Total observations.
@@ -240,6 +290,34 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn unsorted_bounds_rejected() {
         let _ = Histogram::with_bounds(&[10.0, 5.0]);
+    }
+
+    #[test]
+    fn running_max_tracks_largest_observation() {
+        let h = Histogram::with_bounds(&[10.0, 20.0]);
+        assert_eq!(h.max(), 0.0, "empty histogram reports 0");
+        h.observe(5.0);
+        h.observe(12_345.0); // past the top bucket: magnitude must survive
+        h.observe(7.0);
+        h.observe(-3.0); // clamped like the sum
+        assert_eq!(h.max(), 12_345.0);
+    }
+
+    #[test]
+    fn exemplars_stamp_without_recounting() {
+        let h = Histogram::with_bounds(&[10.0, 20.0]);
+        h.observe(15.0);
+        h.record_exemplar(15.0, 0xabc);
+        assert_eq!(h.count(), 1, "record_exemplar must not recount");
+        assert_eq!(h.exemplar(1), Some((0xabc, 15.0)));
+        assert_eq!(h.exemplar(0), None, "untouched bucket has no exemplar");
+        // Most recent stamp wins; zero trace ids are ignored.
+        h.record_exemplar(12.0, 0xdef);
+        h.record_exemplar(13.0, 0);
+        assert_eq!(h.exemplar(1), Some((0xdef, 12.0)));
+        // Overflow bucket takes exemplars too.
+        h.record_exemplar(999.0, 0x123);
+        assert_eq!(h.exemplar(2), Some((0x123, 999.0)));
     }
 
     #[test]

@@ -52,17 +52,23 @@
 #![deny(missing_docs)]
 
 mod chrome;
+mod drift;
+mod events;
 mod histogram;
 mod metrics;
 mod prometheus;
 mod registry;
+mod slo;
 mod span;
 mod trace;
 
 pub use chrome::ChromeTrace;
+pub use drift::{DriftSentry, DriftStatus, DRIFT_EWMA_ALPHA, DRIFT_STAGES};
+pub use events::{global_events, EventRing, WideEvent, DEFAULT_EVENT_RING_CAPACITY};
 pub use histogram::{Histogram, DEFAULT_LATENCY_BUCKETS_US};
 pub use metrics::{Counter, Gauge};
 pub use registry::{MetricKind, Registry};
+pub use slo::{SloEngine, SloKind, SloSpec, SloStatus, FAST_BURN_THRESHOLD};
 pub use span::Span;
 pub use trace::{
     global_ring, wall_now_us, Clock, SpanRecord, TraceContext, TraceRing, TraceSpan,
@@ -84,4 +90,36 @@ static GLOBAL: OnceLock<Registry> = OnceLock::new();
 /// them at construction time rather than re-looking them up per event.
 pub fn global() -> &'static Registry {
     GLOBAL.get_or_init(Registry::new)
+}
+
+/// Wall-clock microsecond timestamp of the first call — the process
+/// start, as far as uptime accounting is concerned.
+fn process_start_us() -> f64 {
+    static START: OnceLock<u64> = OnceLock::new();
+    *START.get_or_init(|| wall_now_us() as u64) as f64
+}
+
+/// Register (idempotently) and refresh the process-identity metrics in
+/// [`global`]: `texid_build_info{version,git_sha}` — a constant-1
+/// info-style gauge whose labels say what is running — and
+/// `texid_uptime_seconds`. Call before rendering a scrape so uptime is
+/// current.
+pub fn touch_process_metrics() {
+    let reg = global();
+    reg.gauge(
+        "texid_build_info",
+        "Constant 1; the version and git_sha labels identify the running build.",
+        &[
+            ("version", env!("CARGO_PKG_VERSION")),
+            ("git_sha", option_env!("GIT_SHA").unwrap_or("unknown")),
+        ],
+    )
+    .set(1.0);
+    let start = process_start_us();
+    reg.gauge(
+        "texid_uptime_seconds",
+        "Seconds since this process first touched its metrics.",
+        &[],
+    )
+    .set((wall_now_us() - start).max(0.0) / 1e6);
 }

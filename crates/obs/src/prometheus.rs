@@ -29,6 +29,17 @@ fn fmt_value(v: f64) -> String {
     }
 }
 
+/// Render an OpenMetrics-style exemplar annotation for a bucket line:
+/// ` # {trace_id="<hex>"} <value>`, or the empty string when the bucket
+/// has never been stamped. The trace id is zero-padded to 32 hex chars
+/// to match the `X-Texid-Trace-Id` wire format.
+fn fmt_exemplar(ex: Option<(u128, f64)>) -> String {
+    match ex {
+        Some((tid, v)) => format!(" # {{trace_id=\"{tid:032x}\"}} {}", fmt_value(v)),
+        None => String::new(),
+    }
+}
+
 fn fmt_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
     let mut parts: Vec<String> = labels
         .iter()
@@ -77,19 +88,21 @@ impl Registry {
                     }
                     Instrument::Histogram(h) => {
                         let mut cum = 0u64;
-                        for (bound, n) in h.bounds().iter().zip(h.bucket_counts()) {
+                        for (i, (bound, n)) in h.bounds().iter().zip(h.bucket_counts()).enumerate() {
                             cum += n;
                             let _ = writeln!(
                                 out,
-                                "{name}_bucket{} {cum}",
-                                fmt_labels(labels, Some(("le", &fmt_value(*bound))))
+                                "{name}_bucket{} {cum}{}",
+                                fmt_labels(labels, Some(("le", &fmt_value(*bound)))),
+                                fmt_exemplar(h.exemplar(i))
                             );
                         }
                         let _ = writeln!(
                             out,
-                            "{name}_bucket{} {}",
+                            "{name}_bucket{} {}{}",
                             fmt_labels(labels, Some(("le", "+Inf"))),
-                            h.count()
+                            h.count(),
+                            fmt_exemplar(h.exemplar(h.bounds().len()))
                         );
                         let _ = writeln!(
                             out,
@@ -98,6 +111,12 @@ impl Registry {
                             fmt_value(h.sum())
                         );
                         let _ = writeln!(out, "{name}_count{} {}", fmt_labels(labels, None), h.count());
+                        let _ = writeln!(
+                            out,
+                            "{name}_max{} {}",
+                            fmt_labels(labels, None),
+                            fmt_value(h.max())
+                        );
                     }
                 }
             }
@@ -122,5 +141,29 @@ mod tests {
     fn label_values_are_escaped() {
         assert_eq!(escape_label_value(r#"a"b\c"#), r#"a\"b\\c"#);
         assert_eq!(escape_label_value("two\nlines"), "two\\nlines");
+    }
+
+    #[test]
+    fn histograms_render_max_and_exemplars() {
+        let reg = Registry::new();
+        let h = reg.histogram_with_bounds("texid_demo_us", "demo", &[], &[10.0, 100.0]);
+        h.observe(5.0);
+        h.observe(250.0);
+        h.record_exemplar(5.0, 0xabc);
+        h.record_exemplar(250.0, 0xdef);
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains("texid_demo_us_bucket{le=\"10\"} 1 # {trace_id=\"00000000000000000000000000000abc\"} 5"),
+            "finite bucket carries its exemplar:\n{text}"
+        );
+        assert!(
+            text.contains("texid_demo_us_bucket{le=\"+Inf\"} 2 # {trace_id=\"00000000000000000000000000000def\"} 250"),
+            "+Inf bucket carries its exemplar:\n{text}"
+        );
+        assert!(
+            text.contains("texid_demo_us_bucket{le=\"100\"} 1\n"),
+            "unstamped bucket renders bare:\n{text}"
+        );
+        assert!(text.contains("texid_demo_us_max 250"), "running max rendered:\n{text}");
     }
 }

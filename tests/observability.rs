@@ -1,0 +1,209 @@
+//! Observability acceptance suite: the metrics catalog lint and the
+//! exemplar → trace → event drill-down path, end to end.
+//!
+//! Two layers under test:
+//!
+//! 1. **Catalog lint** — every `texid_*` family a live server actually
+//!    exposes on `/metrics` must have a row in OBSERVABILITY.md's metric
+//!    catalog, and every family the catalog documents must really be
+//!    exposed. Drift in either direction fails CI.
+//! 2. **Exemplar drill-down** — a traced search must leave its trace id as
+//!    the exemplar on the stage-latency buckets it landed in, so an
+//!    operator staring at a slow bucket on `/metrics` can jump straight to
+//!    `GET /trace/{id}` (the span tree) and the matching flight-recorder
+//!    record on `GET /events`.
+//!
+//! Both tests share one server (the registry is process-global) and a
+//! mutex so the exemplar test's search is the only traced search in this
+//! process — the slowest-bucket exemplar is then deterministic.
+//!
+//! The harness deliberately also runs one stream-pipeline simulation:
+//! `texid_pipeline_*` are the only lazily-registered families, and the
+//! lint must see them live.
+
+use std::collections::BTreeSet;
+use std::net::SocketAddr;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use std::sync::Arc;
+use texid_core::EngineConfig;
+use texid_distrib::api;
+use texid_distrib::b64;
+use texid_distrib::cluster::{Cluster, ClusterConfig};
+use texid_distrib::http::{http_call, http_call_with_headers, HttpServer};
+use texid_distrib::json::{parse, Json};
+use texid_distrib::wire;
+use texid_gpu::pipeline::{simulate, ChunkSpec};
+use texid_gpu::{DeviceSpec, Precision};
+use texid_image::TextureGenerator;
+use texid_sift::{extract, FeatureMatrix, SiftConfig};
+
+struct Harness {
+    addr: SocketAddr,
+    _server: HttpServer,
+}
+
+/// One server for the whole binary; no traced searches happen here.
+fn harness() -> (&'static Harness, MutexGuard<'static, ()>) {
+    static HARNESS: OnceLock<Harness> = OnceLock::new();
+    static GATE: Mutex<()> = Mutex::new(());
+    let guard = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let h = HARNESS.get_or_init(|| {
+        // Touch the lazily-registered pipeline families so the lint sees
+        // the full surface a long-lived server would expose.
+        let spec = DeviceSpec::tesla_p100();
+        let chunk = ChunkSpec {
+            batch: 64,
+            m: 768,
+            n: 768,
+            d: 128,
+            precision: Precision::F16,
+            pinned: true,
+        };
+        let stats = simulate(&spec, &chunk, 4, 2, spec.calib.stream_serial_fraction);
+        assert!(stats.makespan_us > 0.0);
+
+        let cluster = Arc::new(Cluster::new(ClusterConfig {
+            containers: 2,
+            engine: EngineConfig {
+                m_ref: 128,
+                n_query: 256,
+                batch_size: 2,
+                streams: 1,
+                ..EngineConfig::default()
+            },
+            ..ClusterConfig::default()
+        }));
+        let server = api::serve(cluster, "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        for id in 0..4u64 {
+            let payload = b64::encode(&wire::encode_features(&features(id, 128)));
+            let body = format!(r#"{{"id": {id}, "features": "{payload}"}}"#);
+            assert_eq!(http_call(addr, "POST", "/textures", body.as_bytes()).unwrap().status, 201);
+        }
+        Harness { addr, _server: server }
+    });
+    (h, guard)
+}
+
+fn features(seed: u64, n: usize) -> FeatureMatrix {
+    let im = TextureGenerator::with_size(128).generate(seed);
+    extract(&im, &SiftConfig { max_features: n, ..SiftConfig::default() })
+}
+
+/// Every family the server exposes is documented, and every family the
+/// catalog documents is exposed. `# TYPE <name> <kind>` lines are the
+/// ground truth for "exposed"; backticked `texid_*` names in the first
+/// cell of catalog table rows are the ground truth for "documented".
+#[test]
+fn metrics_catalog_matches_live_registry_both_ways() {
+    let (h, _guard) = harness();
+    let resp = http_call(h.addr, "GET", "/metrics", b"").unwrap();
+    assert_eq!(resp.status, 200);
+    let exposed: BTreeSet<String> = resp
+        .text()
+        .lines()
+        .filter_map(|l| l.strip_prefix("# TYPE "))
+        .filter_map(|l| l.split_whitespace().next())
+        .filter(|name| name.starts_with("texid_"))
+        .map(str::to_string)
+        .collect();
+    assert!(exposed.len() > 20, "harness should expose a rich surface: {exposed:?}");
+
+    let doc_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../OBSERVABILITY.md");
+    let doc = std::fs::read_to_string(doc_path).expect("OBSERVABILITY.md readable");
+    let mut documented: BTreeSet<String> = BTreeSet::new();
+    for line in doc.lines() {
+        // First cell of a table row: "| `texid_foo` | ...".
+        let Some(rest) = line.strip_prefix("| `") else { continue };
+        let Some((name, _)) = rest.split_once('`') else { continue };
+        if name.starts_with("texid_")
+            && name.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        {
+            documented.insert(name.to_string());
+        }
+    }
+
+    let undocumented: Vec<&String> = exposed.difference(&documented).collect();
+    let phantom: Vec<&String> = documented.difference(&exposed).collect();
+    assert!(
+        undocumented.is_empty() && phantom.is_empty(),
+        "metric catalog drift.\n  exposed but missing from OBSERVABILITY.md: {undocumented:?}\n  \
+         documented but never exposed: {phantom:?}"
+    );
+}
+
+/// The full p99-triage path from the runbook: traced search → scrape →
+/// slowest stage bucket carries the trace id as its exemplar → the id
+/// retrieves the span tree → the flight recorder holds the wide event.
+#[test]
+fn slow_bucket_exemplar_links_scrape_to_trace_and_event() {
+    let (h, _guard) = harness();
+    let tid = "00000000000000000000000000facade";
+    let payload = b64::encode(&wire::encode_features(&features(1, 256)));
+    let body = format!(r#"{{"features": "{payload}", "top": 2}}"#);
+    let resp = http_call_with_headers(
+        h.addr,
+        "POST",
+        "/search",
+        &[("X-Texid-Trace-Id", tid)],
+        body.as_bytes(),
+    )
+    .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+
+    // Scrape and find the largest exemplar on the stage-latency buckets —
+    // the slowest thing any search did. This binary runs exactly one
+    // traced search, so it must be ours, on the stage="total" track.
+    let metrics = http_call(h.addr, "GET", "/metrics", b"").unwrap().text();
+    let mut slowest: Option<(f64, String, String)> = None;
+    for line in metrics.lines() {
+        if !line.starts_with("texid_stage_duration_us_bucket{") {
+            continue;
+        }
+        let Some((_, annotation)) = line.split_once(" # {trace_id=\"") else { continue };
+        let Some((exemplar_tid, rest)) = annotation.split_once('"') else { continue };
+        let value: f64 = rest
+            .trim_start_matches('}')
+            .trim()
+            .parse()
+            .unwrap_or_else(|e| panic!("bad exemplar value in {line}: {e}"));
+        if slowest.as_ref().is_none_or(|(v, ..)| value > *v) {
+            slowest = Some((value, exemplar_tid.to_string(), line.to_string()));
+        }
+    }
+    let (value, exemplar_tid, line) = slowest.expect("stage buckets carry exemplars");
+    assert!(value > 0.0, "{line}");
+    assert_eq!(exemplar_tid, tid, "slowest-bucket exemplar is the traced search: {line}");
+    assert!(line.contains(r#"stage="total""#), "slowest stage is the end-to-end total: {line}");
+
+    // The exemplar's id retrieves the span tree for that very search.
+    let resp = http_call(h.addr, "GET", &format!("/trace/{exemplar_tid}"), b"").unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let v = parse(&resp.text()).unwrap();
+    assert_eq!(v.get("trace_id").and_then(Json::as_str), Some(tid));
+    let roots = v.get("spans").and_then(Json::as_arr).unwrap();
+    let root = roots
+        .iter()
+        .find(|r| r.get("name").and_then(Json::as_str) == Some("POST /search"))
+        .expect("request root span");
+    let kids = root.get("children").and_then(Json::as_arr).unwrap();
+    let cluster_span = kids
+        .iter()
+        .find(|c| c.get("name").and_then(Json::as_str) == Some("cluster.search"))
+        .expect("cluster.search child span");
+    let legs = cluster_span.get("children").and_then(Json::as_arr).unwrap();
+    assert_eq!(legs.len(), 2, "one leg per shard");
+
+    // And the flight recorder holds the same search as a wide event.
+    let events = http_call(h.addr, "GET", "/events", b"").unwrap().text();
+    let record = events
+        .lines()
+        .filter(|l| !l.is_empty())
+        .map(|l| parse(l).unwrap())
+        .find(|v| v.get("trace_id").and_then(Json::as_str) == Some(tid))
+        .expect("traced search filed a wide event");
+    assert_eq!(record.get("outcome").and_then(Json::as_str), Some("ok"));
+    assert_eq!(record.get("shards_ok").and_then(Json::as_u64), Some(2));
+    assert!(record.get("sim_wall_us").and_then(Json::as_f64).unwrap() > 0.0);
+}
