@@ -9,6 +9,7 @@
 //! texid trace    [--streams 4] [--chunks 16] --out t.trace.json   export a Perfetto timeline
 //! texid bench kernels [--quick] [--check]                  CPU kernel GFLOP/s -> BENCH_kernels.json
 //! texid bench throughput [--quick] [--check]               serving imgs/s -> BENCH_throughput.json
+//! texid bench ivf [--quick] [--check]                      IVF recall/speedup sweep -> BENCH_ivf.json
 //! texid store inspect --dir DIR                            scan a durable volume, report damage
 //! texid store compact --dir DIR                            replay + snapshot + truncate the WAL
 //! texid events tail --addr HOST:PORT [--follow]            tail the flight recorder (JSONL)
@@ -123,6 +124,7 @@ const USAGE: &str = "usage:
   texid trace    [--streams 4] [--chunks 16] [--batch 64] [--out pipeline.trace.json]
   texid bench kernels [--quick] [--check] [--out BENCH_kernels.json]
   texid bench throughput [--quick] [--check] [--out BENCH_throughput.json]
+  texid bench ivf [--quick] [--check] [--out BENCH_ivf.json]
   texid store inspect --dir DIR
   texid store compact --dir DIR
   texid events tail --addr HOST:PORT [--follow] [--limit 20] [--interval-ms 1000] [--max-polls N]
@@ -315,9 +317,11 @@ fn cmd_bench(target: Option<&str>, args: &Args) -> Result<(), String> {
     match target {
         Some("kernels") => {}
         Some("throughput") => return cmd_bench_throughput(args),
+        Some("ivf") => return cmd_bench_ivf(args),
         other => {
             return Err(format!(
-                "unknown bench target {other:?} — 'kernels' and 'throughput' are available\n{USAGE}"
+                "unknown bench target {other:?} — 'kernels', 'throughput' and 'ivf' are \
+                 available\n{USAGE}"
             ))
         }
     }
@@ -424,6 +428,41 @@ fn cmd_bench_throughput(args: &Args) -> Result<(), String> {
     if args.has("check") {
         texid_bench::throughput::check_guard(&report, 1.0)?;
         println!("check passed: coalesced >= 1.0x uncoalesced imgs/s at {max_clients} clients");
+    }
+    Ok(())
+}
+
+fn cmd_bench_ivf(args: &Args) -> Result<(), String> {
+    let quick = args.has("quick");
+    let out = PathBuf::from(args.get("out").unwrap_or("BENCH_ivf.json"));
+
+    println!(
+        "running IVF benchmark ({} mode) — (nlist, nprobe) sweep: recall@1 vs effective imgs/s \
+         over the exhaustive sweep…",
+        if quick { "quick" } else { "full" }
+    );
+    let report = texid_bench::ivf::run(quick);
+    let json = report.to_json();
+    texid_bench::ivf::validate_json(&json)?;
+    std::fs::write(&out, &json).map_err(|e| format!("{}: {e}", out.display()))?;
+
+    println!("  exhaustive baseline: {:>10.1} imgs/s (sim)", report.exhaustive_imgs_per_sec);
+    for e in &report.entries {
+        println!(
+            "  nlist={:<3} nprobe={:<3} {:>10.1} imgs/s (sim)  recall@1={:<6.4} speedup={:<5.2}x \
+             pruned={}",
+            e.nlist, e.nprobe, e.imgs_per_sec, e.recall_at_1, e.speedup, e.batches_pruned
+        );
+    }
+    println!("wrote {} cells to {}", report.entries.len(), out.display());
+
+    if args.has("check") {
+        texid_bench::ivf::check_guard(&report, 0.95, 2.0)?;
+        println!(
+            "check passed: recall@1 >= 0.95 and >= 2.0x exhaustive imgs/s at the default \
+             (nlist={}, nprobe={}) cell",
+            report.default_nlist, report.default_nprobe
+        );
     }
     Ok(())
 }
@@ -710,6 +749,7 @@ fn cmd_obs(action: Option<&str>, args: &Args) -> Result<(), String> {
     let (metric, keys): (&str, &[&str]) = match schema.as_str() {
         "texid-kernel-bench/v1" => ("gflops", &["kernel", "precision", "m", "batch"]),
         "texid-throughput-bench/v1" => ("imgs_per_sec", &["clients", "coalesce"]),
+        "texid-ivf-bench/v1" => ("imgs_per_sec", &["nlist", "nprobe"]),
         other => return Err(format!("unknown bench schema {other:?}")),
     };
 

@@ -10,8 +10,11 @@
 //! machine-readable `BENCH_kernels.json`; see `texid bench kernels`.
 //! [`throughput`] measures concurrent serving (clients × coalescing) in
 //! the simulated-time domain and emits `BENCH_throughput.json`; see
-//! `texid bench throughput`.
+//! `texid bench throughput`. [`ivf`] sweeps the coarse quantizer's
+//! `(nlist, nprobe)` grid for recall@1 vs effective throughput and emits
+//! `BENCH_ivf.json`; see `texid bench ivf`.
 
+pub mod ivf;
 pub mod kernels;
 pub mod throughput;
 

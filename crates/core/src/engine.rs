@@ -16,13 +16,16 @@
 //!   would not fit in test-host RAM, and their values do not affect the
 //!   cost model).
 
+use std::collections::BTreeSet;
+
 use parking_lot::Mutex;
 use rayon::prelude::*;
 use texid_cache::{CacheConfig, CacheError, CacheStats, HybridCache, Payload, Tier};
 use texid_gpu::{cost, streams, DeviceSpec, GpuSim, Kernel, Precision};
+use texid_knn::ivf::{pool_columns, IvfIndex};
 use texid_knn::pair::D2H_BYTES_PER_QUERY_FEATURE;
 use texid_knn::{match_batch, Algorithm, ExecMode, FeatureBlock, MatchConfig};
-use texid_obs::{Counter, Histogram, Span};
+use texid_obs::{Counter, Gauge, Histogram, Span};
 use texid_sift::FeatureMatrix;
 
 /// Cached telemetry handles, registered once per engine against the global
@@ -31,6 +34,7 @@ use texid_sift::FeatureMatrix;
 /// measured host time (`clock="wall"`).
 struct Telemetry {
     encode: Histogram,
+    probe: Histogram,
     h2d: Histogram,
     gemm: Histogram,
     top2: Histogram,
@@ -39,6 +43,10 @@ struct Telemetry {
     total: Histogram,
     searches: Counter,
     images: Counter,
+    ivf_cells_probed: Counter,
+    ivf_batches_pruned: Counter,
+    ivf_batches_swept: Counter,
+    ivf_prune_ratio: Gauge,
 }
 
 impl Telemetry {
@@ -46,6 +54,7 @@ impl Telemetry {
         let reg = texid_obs::global();
         Telemetry {
             encode: reg.stage_duration("encode", "wall"),
+            probe: reg.stage_duration("probe", "sim"),
             h2d: reg.stage_duration("h2d", "sim"),
             gemm: reg.stage_duration("gemm", "sim"),
             top2: reg.stage_duration("top2", "sim"),
@@ -62,11 +71,33 @@ impl Telemetry {
                 "Reference images compared across all searches.",
                 &[],
             ),
+            ivf_cells_probed: reg.counter(
+                "texid_ivf_cells_probed",
+                "IVF cells probed across all searches (nprobe per probed search).",
+                &[],
+            ),
+            ivf_batches_pruned: reg.counter(
+                "texid_ivf_batches_pruned",
+                "Reference batches the IVF probe let searches skip entirely.",
+                &[],
+            ),
+            ivf_batches_swept: reg.counter(
+                "texid_ivf_batches_swept",
+                "Reference batches searches actually swept with the exact kernels.",
+                &[],
+            ),
+            ivf_prune_ratio: reg.gauge(
+                "texid_ivf_prune_ratio",
+                "Fraction of cached batches the most recent search pruned \
+                 (0 on exhaustive searches).",
+                &[],
+            ),
         }
     }
 
     /// Record one search's per-stage accounting.
     fn observe(&self, report: &SearchReport) {
+        self.probe.observe(report.probe_us);
         self.h2d.observe(report.h2d_us);
         self.gemm.observe(report.gemm_us);
         self.top2.observe(report.sort_us);
@@ -75,6 +106,14 @@ impl Telemetry {
         self.total.observe(report.total_us);
         self.searches.inc();
         self.images.add(report.images as u64);
+        let swept = (report.device_batches + report.host_batches) as u64;
+        self.ivf_cells_probed.add(report.cells_probed as u64);
+        self.ivf_batches_pruned.add(report.batches_pruned as u64);
+        self.ivf_batches_swept.add(swept);
+        let total_batches = report.batches_pruned as u64 + swept;
+        if total_batches > 0 {
+            self.ivf_prune_ratio.set(report.batches_pruned as f64 / total_batches as f64);
+        }
     }
 }
 
@@ -143,6 +182,13 @@ impl Payload for RefBatch {
     }
 }
 
+/// Column-major matrix from per-image pooled descriptors (one column each).
+fn pools_to_mat(pools: &[Vec<f32>]) -> texid_linalg::Mat {
+    let d = pools.first().map_or(0, Vec::len);
+    let data: Vec<f32> = pools.iter().flatten().copied().collect();
+    texid_linalg::Mat::from_col_major(d, pools.len(), data)
+}
+
 /// Ranked search output.
 #[derive(Clone, Debug)]
 pub struct SearchResult {
@@ -187,6 +233,13 @@ pub struct SearchReport {
     /// Q > 1 means each host batch's H2D cost was charged once and split
     /// `1/Q` into each query's `h2d_us`).
     pub coalesced_queries: usize,
+    /// Simulated µs of IVF centroid scoring + cell selection (0 on the
+    /// exhaustive path, which runs no probe at all).
+    pub probe_us: f64,
+    /// IVF cells this query probed (0 on the exhaustive path).
+    pub cells_probed: usize,
+    /// Reference batches the IVF probe let this query skip.
+    pub batches_pruned: usize,
 }
 
 impl SearchReport {
@@ -244,6 +297,13 @@ pub struct Engine {
     phantom_ids: Vec<u64>,
     next_batch: u64,
     references: usize,
+    /// Trained coarse quantizer (None until enough pooled descriptors have
+    /// been ingested with `matching.ivf.enabled`).
+    ivf: Option<IvfIndex>,
+    /// Pooled descriptors of the references in the still-open batch.
+    pending_pooled: Vec<Vec<f32>>,
+    /// Pooled descriptors per sealed batch awaiting quantizer training.
+    unindexed_pools: Vec<(u64, Vec<Vec<f32>>)>,
     /// Reusable scratch devices for functional matching (timing comes from
     /// the engine-level cost accounting, not these). A pool rather than a
     /// single sim so concurrent `&self` searches never serialize on one
@@ -269,6 +329,9 @@ impl Engine {
             phantom_ids: Vec::new(),
             next_batch: 0,
             references: 0,
+            ivf: None,
+            pending_pooled: Vec::new(),
+            unindexed_pools: Vec::new(),
             scratch: Mutex::new(Vec::new()),
             telemetry: Telemetry::register(),
         }
@@ -319,6 +382,11 @@ impl Engine {
             data.resize(d * self.cfg.m_ref, 0.0);
         }
         let mat = texid_linalg::Mat::from_col_major(d, self.cfg.m_ref, data);
+        if self.cfg.matching.ivf.enabled {
+            // Pool before quantization: the coarse quantizer routes on full-
+            // precision pooled descriptors regardless of storage precision.
+            self.pending_pooled.push(pool_columns(&mat));
+        }
         let block =
             FeatureBlock::from_mat(mat, self.cfg.matching.precision, self.cfg.matching.scale);
         self.pending.push((id, block));
@@ -373,7 +441,59 @@ impl Engine {
         self.next_batch += 1;
         self.cache.insert(id, batch, &mut self.sim)?;
         self.pending.clear();
+        let pools = std::mem::take(&mut self.pending_pooled);
+        if self.cfg.matching.ivf.enabled {
+            match &mut self.ivf {
+                Some(ivf) => ivf.add_batch(id, &pools_to_mat(&pools)),
+                None => {
+                    self.unindexed_pools.push((id, pools));
+                    self.maybe_train_ivf();
+                }
+            }
+        }
         Ok(())
+    }
+
+    /// Train the coarse quantizer once enough pooled descriptors exist
+    /// (at least `nlist`, so no cell starts structurally empty), then post
+    /// every batch sealed so far. Later batches are posted incrementally at
+    /// seal time. Training is seeded (`matching.ivf.seed`) and happens at a
+    /// deterministic point in the ingest stream, so two identical ingest
+    /// sequences build bit-identical indexes.
+    fn maybe_train_ivf(&mut self) {
+        let ivf_cfg = self.cfg.matching.ivf;
+        if self.ivf.is_some() || !ivf_cfg.enabled || ivf_cfg.nlist < 2 {
+            return;
+        }
+        let points: usize = self.unindexed_pools.iter().map(|(_, p)| p.len()).sum();
+        if points < ivf_cfg.nlist {
+            return;
+        }
+        let all: Vec<f32> = self
+            .unindexed_pools
+            .iter()
+            .flat_map(|(_, pools)| pools.iter().flatten().copied())
+            .collect();
+        let d = all.len() / points;
+        let train = texid_linalg::Mat::from_col_major(d, points, all);
+        let mut ivf = IvfIndex::train(&train, ivf_cfg.nlist, ivf_cfg.seed, ivf_cfg.train_iters);
+        for (batch_id, pools) in std::mem::take(&mut self.unindexed_pools) {
+            ivf.add_batch(batch_id, &pools_to_mat(&pools));
+        }
+        self.ivf = Some(ivf);
+    }
+
+    /// The trained coarse quantizer, if any.
+    pub fn ivf_index(&self) -> Option<&IvfIndex> {
+        self.ivf.as_ref()
+    }
+
+    /// Run one IVF-aware cache rebalance: promote the probe-hottest host
+    /// batches into GPU memory (see [`HybridCache::rebalance`]). Returns
+    /// the number of promotions. Heat accrues on the `&self` search path;
+    /// this is the write-locked maintenance step that acts on it.
+    pub fn rebalance_cache(&mut self) -> usize {
+        self.cache.rebalance(&mut self.sim)
     }
 
     fn seal_phantom_batch(&mut self) -> Result<(), CacheError> {
@@ -482,8 +602,19 @@ impl Engine {
         if nq == 0 {
             return Vec::new();
         }
-        // Encode every query block up front (asymmetric n truncation).
-        let qblocks: Vec<(usize, FeatureBlock)> = queries
+        // An IVF probe only runs when the quantizer is trained AND the
+        // configuration actually prunes (`nprobe < nlist`). Otherwise —
+        // `ivf.enabled = false`, `nprobe >= nlist`, or an untrained index —
+        // this is None and the sweep below is the historical exhaustive
+        // path, bit-identical down to every report field.
+        let prober: Option<&IvfIndex> = match &self.ivf {
+            Some(ivf) if self.cfg.matching.ivf.prunes() => Some(ivf),
+            _ => None,
+        };
+
+        // Encode every query block up front (asymmetric n truncation),
+        // pooling each query's descriptors first when a probe will run.
+        let qblocks: Vec<(usize, FeatureBlock, Option<Vec<f32>>)> = queries
             .iter()
             .map(|query| {
                 let n = self.cfg.n_query.min(query.len());
@@ -492,6 +623,7 @@ impl Engine {
                     n,
                     query.mat.as_slice()[..query.dim() * n].to_vec(),
                 );
+                let pooled = prober.is_some().then(|| pool_columns(&qmat));
                 let qblock = {
                     let _span = Span::with(self.telemetry.encode.clone());
                     FeatureBlock::from_mat(
@@ -500,29 +632,68 @@ impl Engine {
                         self.cfg.matching.scale,
                     )
                 };
-                (n, qblock)
+                (n, qblock, pooled)
             })
             .collect();
+
+        // Probe: per query, the top-nprobe cells and the union of their
+        // posting lists — the batches this query must still sweep exactly.
+        let candidates: Option<Vec<(BTreeSet<u64>, usize)>> = prober.map(|ivf| {
+            qblocks
+                .iter()
+                .map(|(_, _, pooled)| {
+                    let pool = pooled.as_ref().expect("pooled alongside an active prober");
+                    let cells = ivf.probe(pool, self.cfg.matching.ivf.nprobe);
+                    let batches = ivf.batches_in(&cells);
+                    (batches, cells.len())
+                })
+                .collect()
+        });
+        let probe_us = prober.map_or(0.0, |ivf| {
+            cost::ivf_probe_us(
+                self.sim.spec(),
+                ivf.nlist(),
+                ivf.dim(),
+                self.cfg.matching.precision,
+            )
+        });
 
         let pinned = self.cfg.cache.pinned;
         let spec = self.sim.spec().clone();
 
         // Collect batch descriptors first (borrow juggling with the cache).
+        // `selected[qi]` says whether query qi sweeps this batch: everything
+        // on the exhaustive path; on the probed path, the batches in the
+        // query's probed cells, plus any batch the index has never seen
+        // (phantom batches are not pooled, so they are always swept).
         struct Work<'a> {
+            id: u64,
             batch: &'a RefBatch,
             tier: Tier,
+            selected: Vec<bool>,
         }
         let work: Vec<Work<'_>> = {
             let iter = self.cache.search_iter();
-            iter.map(|(_, b, tier)| Work { batch: b, tier }).collect()
+            iter.map(|(id, b, tier)| {
+                let selected = match (&candidates, prober) {
+                    (Some(cands), Some(ivf)) if ivf.contains(id) => {
+                        cands.iter().map(|(batches, _)| batches.contains(&id)).collect()
+                    }
+                    _ => vec![true; nq],
+                };
+                Work { id, batch: b, tier, selected }
+            })
+            .collect()
         };
 
         // Per-batch partial result: costs and score contributions for each
         // of the Q queries. Computed independently per batch (rayon), then
         // folded in batch index order so accumulation stays deterministic.
         struct BatchPartial {
+            id: u64,
             bsize: usize,
             tier: Tier,
+            selected: Vec<bool>,
             h2d_share_us: f64,
             gemm_us: Vec<f64>,
             sort_us: Vec<f64>,
@@ -537,11 +708,14 @@ impl Engine {
                 let bsize = w.batch.ids.len();
                 let m_per = w.batch.m_per_ref;
                 let cols = bsize * m_per;
+                let nsel = w.selected.iter().filter(|&&s| s).count();
 
-                // Host-resident batches stream over PCIe once for all Q
-                // queries (§6.1 + coalescing); each report gets a 1/Q share.
-                let h2d_share_us = if w.tier == Tier::Host {
-                    cost::h2d_amortized_us(&spec, w.batch.size_bytes(), pinned, nq)
+                // Host-resident batches stream over PCIe once for all
+                // queries that sweep them (§6.1 + coalescing); each
+                // surviving report gets a 1/nsel share. On the exhaustive
+                // path nsel == nq, so the share is unchanged.
+                let h2d_share_us = if w.tier == Tier::Host && nsel > 0 {
+                    cost::h2d_amortized_us(&spec, w.batch.size_bytes(), pinned, nsel)
                 } else {
                     0.0
                 };
@@ -553,7 +727,14 @@ impl Engine {
                 let mut sort_us = Vec::with_capacity(nq);
                 let mut d2h_us = Vec::with_capacity(nq);
                 let mut post_us = Vec::with_capacity(nq);
-                for (n, _) in &qblocks {
+                for (qi, (n, _, _)) in qblocks.iter().enumerate() {
+                    if !w.selected[qi] {
+                        gemm_us.push(0.0);
+                        sort_us.push(0.0);
+                        d2h_us.push(0.0);
+                        post_us.push(0.0);
+                        continue;
+                    }
                     gemm_us.push(cost::kernel_duration_us(&spec, &Kernel::Gemm {
                         m_rows: cols,
                         n_cols: *n,
@@ -579,7 +760,7 @@ impl Engine {
                 // it is reused across batches and searches (its clock state
                 // does not feed the cost accounting above).
                 let mut scores: Vec<Vec<(u64, usize)>> = vec![Vec::new(); nq];
-                if self.cfg.matching.exec == ExecMode::Full {
+                if self.cfg.matching.exec == ExecMode::Full && nsel > 0 {
                     if let BatchData::Real(block) = &w.batch.data {
                         let cfg = MatchConfig {
                             algorithm: Algorithm::RootSiftTop2,
@@ -592,7 +773,10 @@ impl Engine {
                             .pop()
                             .unwrap_or_else(|| GpuSim::new(spec.clone()));
                         let st = scratch.default_stream();
-                        for (qi, (_, qblock)) in qblocks.iter().enumerate() {
+                        for (qi, (_, qblock, _)) in qblocks.iter().enumerate() {
+                            if !w.selected[qi] {
+                                continue;
+                            }
                             let out =
                                 match_batch(&cfg, block, bsize, m_per, qblock, &mut scratch, st);
                             for (i, &id) in w.batch.ids.iter().enumerate() {
@@ -604,8 +788,10 @@ impl Engine {
                 }
 
                 BatchPartial {
+                    id: w.id,
                     bsize,
                     tier: w.tier,
+                    selected: w.selected.clone(),
                     h2d_share_us,
                     gemm_us,
                     sort_us,
@@ -617,14 +803,34 @@ impl Engine {
             .collect();
         drop(work);
 
+        // Probe-frequency feedback for the cache tier: each batch's heat
+        // grows by how many of this sweep's queries actually touched it, so
+        // `rebalance_cache` can pin hot cells' batches into device memory.
+        if prober.is_some() {
+            for p in &partials {
+                let nsel = p.selected.iter().filter(|&&s| s).count();
+                if nsel > 0 {
+                    self.cache.note_heat(p.id, nsel as u64);
+                }
+            }
+        }
+
         // Deterministic merge: fold per-batch partials in batch index
         // order, per query — field-by-field `+=` in exactly the order the
-        // old serial loop used.
+        // old serial loop used. Batches the probe pruned for this query
+        // contribute nothing but a `batches_pruned` tick.
         let mut results = Vec::with_capacity(nq);
         for qi in 0..nq {
             let mut report = SearchReport { coalesced_queries: nq, ..SearchReport::default() };
+            if let Some(cands) = &candidates {
+                report.cells_probed = cands[qi].1;
+            }
             let mut ranked: Vec<(u64, usize)> = Vec::new();
             for p in &partials {
+                if !p.selected[qi] {
+                    report.batches_pruned += 1;
+                    continue;
+                }
                 report.images += p.bsize;
                 if p.tier == Tier::Host {
                     report.host_batches += 1;
@@ -638,8 +844,16 @@ impl Engine {
                 report.post_us += p.post_us[qi];
                 ranked.extend_from_slice(&p.scores[qi]);
             }
-            report.serial_total_us =
-                report.h2d_us + report.gemm_us + report.sort_us + report.d2h_us + report.post_us;
+            // `probe_us` is 0.0 on the exhaustive path, and `0.0 + x` is
+            // bitwise `x` here (every cost sum is non-negative), so the
+            // degenerate-path totals stay bit-identical.
+            report.probe_us = probe_us;
+            report.serial_total_us = report.probe_us
+                + report.h2d_us
+                + report.gemm_us
+                + report.sort_us
+                + report.d2h_us
+                + report.post_us;
             report.total_us =
                 report.serial_total_us * streams::stream_time_factor(&spec, self.cfg.streams);
             self.telemetry.observe(&report);
@@ -871,7 +1085,10 @@ mod tests {
         assert_eq!(a.device_batches, b.device_batches);
         assert_eq!(a.host_batches, b.host_batches);
         assert_eq!(a.coalesced_queries, b.coalesced_queries);
+        assert_eq!(a.cells_probed, b.cells_probed);
+        assert_eq!(a.batches_pruned, b.batches_pruned);
         for (name, x, y) in [
+            ("probe_us", a.probe_us, b.probe_us),
             ("h2d_us", a.h2d_us, b.h2d_us),
             ("gemm_us", a.gemm_us, b.gemm_us),
             ("sort_us", a.sort_us, b.sort_us),
@@ -929,5 +1146,87 @@ mod tests {
             assert_eq!(m.report.coalesced_queries, 3);
             assert_eq!(solo.report.coalesced_queries, 1);
         }
+    }
+
+    fn ivf_engine(batch: usize, ivf: texid_knn::IvfParams) -> Engine {
+        Engine::new(EngineConfig {
+            m_ref: 128,
+            n_query: 256,
+            batch_size: batch,
+            matching: MatchConfig { ivf, ..MatchConfig::default() },
+            ..EngineConfig::default()
+        })
+    }
+
+    /// The degenerate IVF configurations — disabled, or `nprobe >= nlist` —
+    /// must be bit-identical to the exhaustive sweep: same rankings, same
+    /// report down to every f64 bit.
+    #[test]
+    fn ivf_degenerate_configs_bit_identical_to_exhaustive() {
+        let ivf_off = texid_knn::IvfParams::default();
+        let ivf_all = texid_knn::IvfParams {
+            enabled: true,
+            nlist: 4,
+            nprobe: 4,
+            ..texid_knn::IvfParams::default()
+        };
+        let mut baseline = ivf_engine(4, ivf_off);
+        let mut full_probe = ivf_engine(4, ivf_all);
+        for id in 0..10u64 {
+            baseline.add_reference(id, &features(id, 128)).unwrap();
+            full_probe.add_reference(id, &features(id, 128)).unwrap();
+        }
+        baseline.flush().unwrap();
+        full_probe.flush().unwrap();
+        // nprobe >= nlist still trains the quantizer; it just must not be
+        // consulted.
+        assert!(full_probe.ivf_index().is_some());
+
+        let queries: Vec<FeatureMatrix> = (0..3).map(|i| features(300 + i, 256)).collect();
+        let refs: Vec<&FeatureMatrix> = queries.iter().collect();
+        for (a, b) in baseline.search_many(&refs).iter().zip(&full_probe.search_many(&refs)) {
+            assert_eq!(a.ranked, b.ranked, "nprobe=nlist ranking diverged from exhaustive");
+            assert_reports_identical(&a.report, &b.report);
+            assert_eq!(a.report.batches_pruned, 0);
+            assert_eq!(a.report.cells_probed, 0);
+            assert_eq!(a.report.probe_us.to_bits(), 0.0f64.to_bits());
+        }
+    }
+
+    /// With `nprobe < nlist` the probe actually prunes batches, charges
+    /// probe time, and still finds the right texture when the query pools
+    /// into the reference's cell.
+    #[test]
+    fn ivf_pruning_skips_batches_and_still_identifies() {
+        let ivf = texid_knn::IvfParams {
+            enabled: true,
+            nlist: 4,
+            nprobe: 1,
+            ..texid_knn::IvfParams::default()
+        };
+        let mut engine = ivf_engine(1, ivf);
+        for id in 0..12u64 {
+            engine.add_reference(id, &features(id, 128)).unwrap();
+        }
+        engine.flush().unwrap();
+        assert!(engine.ivf_index().is_some(), "12 pooled points >= nlist=4 must train");
+
+        // Query with reference 3's own features: its pool lands in the same
+        // cell as the indexed reference, so pruning must not lose it.
+        let r = engine.search(&features(3, 128));
+        assert_eq!(r.report.cells_probed, 1);
+        assert!(r.report.batches_pruned > 0, "nprobe=1 of nlist=4 must prune some batches");
+        assert_eq!(
+            r.report.batches_pruned + r.report.device_batches + r.report.host_batches,
+            12,
+            "every batch is either swept or pruned"
+        );
+        assert!(r.report.probe_us > 0.0);
+        assert_eq!(r.best(10).map(|(id, _)| id), Some(3), "pruned sweep lost the true match");
+
+        // Probe feedback accumulated heat; rebalancing must not panic and
+        // reports how many host batches it promoted into device memory.
+        let promoted = engine.rebalance_cache();
+        let _ = promoted;
     }
 }

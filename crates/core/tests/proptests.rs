@@ -3,9 +3,9 @@
 
 use proptest::prelude::*;
 use texid_cache::CacheConfig;
-use texid_core::{Engine, EngineConfig};
+use texid_core::{Engine, EngineConfig, SearchResult};
 use texid_gpu::{DeviceSpec, Precision};
-use texid_knn::{ExecMode, MatchConfig};
+use texid_knn::{ExecMode, IvfParams, MatchConfig};
 use texid_linalg::Mat;
 use texid_sift::FeatureMatrix;
 
@@ -111,6 +111,69 @@ proptest! {
         };
         prop_assert_eq!(run(Precision::F32), 1);
         prop_assert_eq!(run(Precision::F16), 1);
+    }
+
+    /// The IVF degenerate configurations — `enabled: false` (with arbitrary
+    /// nlist/nprobe) and `nprobe = nlist` — must be bit-identical to the
+    /// exhaustive sweep across ragged reference shapes and empty queries:
+    /// identical rankings AND identical report f64 bits.
+    #[test]
+    fn ivf_degenerate_paths_bit_identical_to_exhaustive(
+        sizes in proptest::collection::vec(1usize..32, 2..10),
+        batch in 1usize..4,
+        nlist in 2usize..6,
+        qcols in 0usize..48,
+        seed in any::<u64>(),
+    ) {
+        let refs: Vec<FeatureMatrix> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| unit_features(24, c, seed ^ (i as u64 * 131)))
+            .collect();
+        let q = unit_features(24, qcols, seed ^ 0xabcd);
+
+        let run = |ivf: IvfParams| -> SearchResult {
+            let mut e = Engine::new(EngineConfig {
+                matching: MatchConfig { exec: ExecMode::Full, ivf, ..MatchConfig::default() },
+                m_ref: 24,
+                n_query: 64,
+                batch_size: batch,
+                streams: 1,
+                ..EngineConfig::default()
+            });
+            for (id, f) in refs.iter().enumerate() {
+                e.add_reference(id as u64, f).expect("capacity");
+            }
+            e.flush().expect("flush");
+            e.search(&q)
+        };
+
+        let base = run(IvfParams::default());
+        let disabled = run(IvfParams { enabled: false, nlist, nprobe: 1, ..IvfParams::default() });
+        let full_probe =
+            run(IvfParams { enabled: true, nlist, nprobe: nlist, ..IvfParams::default() });
+        for variant in [&disabled, &full_probe] {
+            prop_assert_eq!(&base.ranked, &variant.ranked);
+            let (a, b) = (&base.report, &variant.report);
+            prop_assert_eq!(a.images, b.images);
+            prop_assert_eq!(a.device_batches, b.device_batches);
+            prop_assert_eq!(a.host_batches, b.host_batches);
+            prop_assert_eq!(a.cells_probed, b.cells_probed);
+            prop_assert_eq!(a.batches_pruned, b.batches_pruned);
+            prop_assert_eq!(b.batches_pruned, 0);
+            for (name, x, y) in [
+                ("probe_us", a.probe_us, b.probe_us),
+                ("h2d_us", a.h2d_us, b.h2d_us),
+                ("gemm_us", a.gemm_us, b.gemm_us),
+                ("sort_us", a.sort_us, b.sort_us),
+                ("d2h_us", a.d2h_us, b.d2h_us),
+                ("post_us", a.post_us, b.post_us),
+                ("serial_total_us", a.serial_total_us, b.serial_total_us),
+                ("total_us", a.total_us, b.total_us),
+            ] {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "{} differs: {} vs {}", name, x, y);
+            }
+        }
     }
 
     #[test]

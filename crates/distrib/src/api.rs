@@ -111,6 +111,8 @@ fn event_json(e: &WideEvent) -> Json {
         ("coalesced", Json::Num(e.coalesced as f64)),
         ("device_batches", Json::Num(e.device_batches as f64)),
         ("host_batches", Json::Num(e.host_batches as f64)),
+        ("cells_probed", Json::Num(e.cells_probed as f64)),
+        ("batches_pruned", Json::Num(e.batches_pruned as f64)),
         ("retries", Json::Num(e.retries as f64)),
         ("h2d_us", Json::Num(e.h2d_us)),
         ("gemm_us", Json::Num(e.gemm_us)),

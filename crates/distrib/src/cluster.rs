@@ -635,6 +635,10 @@ type LegResult = Result<(Vec<(u64, usize)>, SearchReport, SearchReport), Cluster
 /// *measured* report (with any injected straggle/stall/backoff applied)
 /// and the *predicted* one (the unperturbed analytic model output for
 /// the same query shape) — the pair the drift sentry compares.
+// Answered dwarfs the dataless variants, but one lives per shard leg for
+// the duration of a gather — boxing would buy nothing and cost a per-leg
+// allocation on the search path.
+#[allow(clippy::large_enum_variant)]
 enum Gathered {
     Skipped,
     Failed,
@@ -1281,6 +1285,8 @@ impl Cluster {
                         event.coalesced = event.coalesced.max(report.coalesced_queries as u32);
                         event.device_batches += report.device_batches as u64;
                         event.host_batches += report.host_batches as u64;
+                        event.cells_probed += report.cells_probed as u64;
+                        event.batches_pruned += report.batches_pruned as u64;
                         event.h2d_us += report.h2d_us;
                         event.gemm_us += report.gemm_us;
                         event.top2_us += report.sort_us;

@@ -357,7 +357,13 @@ impl HttpServer {
                         // Queue full: shed load right here rather than
                         // letting the backlog grow without bound.
                         depth_gauge.set(depth.fetch_sub(1, Ordering::Relaxed) as f64 - 1.0);
+                        let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
                         let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+                        // Drain the request before answering: closing a
+                        // socket with unread bytes in its receive buffer
+                        // makes the kernel send RST, which can destroy the
+                        // in-flight 503 before the client reads it.
+                        let _ = read_request(&mut stream);
                         let resp =
                             Response::json(503, r#"{"error":"server overloaded"}"#.to_string())
                                 .with_header("Retry-After", "1");
@@ -562,6 +568,19 @@ mod tests {
             .unwrap()
         };
         let addr = server.addr();
+        // If an assertion below fails while the gate is still closed, the
+        // worker thread stays parked in the handler and `HttpServer::drop`
+        // would deadlock joining it. Open the gate during unwind (guard
+        // drops before `server`, which was declared earlier).
+        struct OpenOnDrop(Arc<(Mutex<bool>, std::sync::Condvar)>);
+        impl Drop for OpenOnDrop {
+            fn drop(&mut self) {
+                let (lock, cv) = &*self.0;
+                *lock.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = true;
+                cv.notify_all();
+            }
+        }
+        let _gate_guard = OpenOnDrop(gate.clone());
         // Four concurrent clients against capacity 2 (1 worker + 1 queue
         // slot). While the gate is closed an admitted request cannot
         // complete, so the only responses that can arrive are 503s from the

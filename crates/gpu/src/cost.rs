@@ -175,6 +175,21 @@ pub fn kernel_duration_us(spec: &DeviceSpec, kernel: &Kernel) -> f64 {
     }
 }
 
+/// Simulated cost of one IVF coarse probe (per query), µs: a `nlist × 1`
+/// centroid-distance GEMM over the pooled query descriptor plus a
+/// one-thread selection scan of the `nlist` cell scores. Both stages are
+/// tiny and launch-dominated — the point of the coarse quantizer is that
+/// this fixed cost buys skipping entire reference batches in the sweep.
+pub fn ivf_probe_us(spec: &DeviceSpec, nlist: usize, d: usize, precision: Precision) -> f64 {
+    kernel_duration_us(spec, &Kernel::Gemm {
+        m_rows: nlist,
+        n_cols: 1,
+        k_depth: d,
+        precision,
+        tensor_core: false,
+    }) + kernel_duration_us(spec, &Kernel::Top2Scan { m_rows: nlist, n_cols: 1, precision })
+}
+
 /// Duration of a host→device copy, µs.
 pub fn h2d_duration_us(spec: &DeviceSpec, bytes: u64, pinned: bool) -> f64 {
     let c = &spec.calib;
@@ -382,6 +397,21 @@ mod tests {
         let spec = p100();
         let b = 200 * 1024 * 1024;
         assert!(h2d_duration_us(&spec, b, true) < h2d_duration_us(&spec, b, false));
+    }
+
+    #[test]
+    fn ivf_probe_is_launch_dominated_and_far_below_one_batch_gemm() {
+        let spec = p100();
+        let probe = ivf_probe_us(&spec, 64, 128, Precision::F16);
+        assert!(probe >= 2.0 * spec.calib.launch_us, "two kernel launches: {probe}");
+        let sweep_one_batch = kernel_duration_us(&spec, &Kernel::Gemm {
+            m_rows: 384 * 256,
+            n_cols: 768,
+            k_depth: 128,
+            precision: Precision::F16,
+            tensor_core: false,
+        });
+        assert!(probe < sweep_one_batch / 10.0, "probe {probe} vs batch GEMM {sweep_one_batch}");
     }
 
     #[test]

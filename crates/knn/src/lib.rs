@@ -24,11 +24,13 @@ pub mod batched;
 pub mod block;
 pub mod geometry;
 pub mod hamming;
+pub mod ivf;
 pub mod pair;
 pub mod pooled;
 pub mod ratio;
 
 pub use batched::{match_batch, BatchOutcome};
 pub use block::FeatureBlock;
-pub use pair::{match_pair, Algorithm, ExecMode, MatchConfig, PairOutcome, StepTimes};
+pub use ivf::{kmeans, pool_columns, IvfIndex, Kmeans};
+pub use pair::{match_pair, Algorithm, ExecMode, IvfParams, MatchConfig, PairOutcome, StepTimes};
 pub use ratio::{count_good_matches, good_matches, FeatureMatch};

@@ -37,6 +37,44 @@ pub enum ExecMode {
     TimingOnly,
 }
 
+/// IVF coarse-quantizer configuration (Johnson et al., billion-scale
+/// similarity search): cluster pooled per-image descriptors with a seeded
+/// k-means, keep an inverted file of reference batches per centroid, and
+/// sweep only the batches posted in the top-`nprobe` probed cells.
+///
+/// The degenerate settings are exact by construction: with `enabled =
+/// false` or `nprobe >= nlist` the engine skips the probe entirely and the
+/// search is bit-identical to the exhaustive sweep — same match sets, same
+/// simulated timings.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IvfParams {
+    /// Route searches through the coarse quantizer once it is trained.
+    pub enabled: bool,
+    /// Number of k-means centroids (inverted-file cells).
+    pub nlist: usize,
+    /// Cells probed per query; `>= nlist` degenerates to exhaustive search.
+    pub nprobe: usize,
+    /// Seed for the deterministic k-means++ initialization.
+    pub seed: u64,
+    /// Lloyd-iteration cap for k-means training.
+    pub train_iters: usize,
+}
+
+impl IvfParams {
+    /// True when this configuration can actually skip batches: the index is
+    /// on and probing fewer cells than exist.
+    pub fn prunes(&self) -> bool {
+        self.enabled && self.nprobe < self.nlist
+    }
+}
+
+impl Default for IvfParams {
+    /// Off by default; the committed (nlist, nprobe) matches `BENCH_ivf.json`.
+    fn default() -> Self {
+        IvfParams { enabled: false, nlist: 32, nprobe: 8, seed: 0x1f5eed, train_iters: 10 }
+    }
+}
+
 /// Matching configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct MatchConfig {
@@ -57,6 +95,8 @@ pub struct MatchConfig {
     /// pipeline; applies to the top-2 algorithms only — the full-sort
     /// baseline always materializes.
     pub fused: bool,
+    /// IVF coarse-index settings (candidate pruning before the exact sweep).
+    pub ivf: IvfParams,
 }
 
 impl Default for MatchConfig {
@@ -69,6 +109,7 @@ impl Default for MatchConfig {
             ratio_threshold: 0.75,
             exec: ExecMode::Full,
             fused: true,
+            ivf: IvfParams::default(),
         }
     }
 }

@@ -166,4 +166,52 @@ proptest! {
             prop_assert!(t.d1 < 0.05, "col {}: {}", j, t.d1);
         }
     }
+
+    #[test]
+    fn kmeans_is_run_to_run_deterministic(
+        d in 4usize..24,
+        n in 4usize..40,
+        k in 2usize..6,
+        seed in any::<u64>(),
+        train_seed in any::<u64>(),
+    ) {
+        prop_assume!(k <= n);
+        let points = unit_features(d, n, seed);
+        let a = texid_knn::kmeans(&points, k, train_seed, 10);
+        let b = texid_knn::kmeans(&points, k, train_seed, 10);
+        prop_assert_eq!(&a.assignments, &b.assignments);
+        prop_assert_eq!(a.iterations, b.iterations);
+        prop_assert_eq!(a.centroids.rows(), b.centroids.rows());
+        prop_assert_eq!(a.centroids.cols(), b.centroids.cols());
+        for (x, y) in a.centroids.as_slice().iter().zip(b.centroids.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "centroid value differs: {} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn probe_with_nprobe_nlist_covers_every_cell(
+        d in 4usize..24,
+        n_batches in 2usize..12,
+        nlist in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(nlist <= n_batches);
+        let train = unit_features(d, n_batches, seed);
+        let mut idx = texid_knn::IvfIndex::train(&train, nlist, seed | 1, 10);
+        for b in 0..n_batches {
+            let m = Mat::from_col_major(d, 1, train.col(b).to_vec());
+            idx.add_batch(b as u64, &m);
+        }
+        // A full-width probe must return every cell exactly once, and the
+        // union of their postings must be every indexed batch.
+        let query = unit_features(d, 1, seed ^ 0x5a5a);
+        let cells = idx.probe(query.col(0), nlist);
+        prop_assert_eq!(cells.len(), nlist);
+        let mut sorted = cells.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), nlist, "probe returned duplicate cells");
+        let batches = idx.batches_in(&cells);
+        prop_assert_eq!(batches.len(), n_batches);
+    }
 }

@@ -32,9 +32,10 @@
 //!    accumulators never spill to a C buffer). Each packed A load is reused
 //!    `NR` times and each B load `MR` times.
 //! 4. **Epilogue.** Either the tile is written to C ([`gemm_packed`]), or —
-//!    the fused path ([`gemm_top2_ex`]) — each tile value is transformed
-//!    (`alpha`, optional scale, optional per-row bias, optional f16
-//!    round-trip) and folded straight into per-column [`Top2`] running
+//!    the fused path ([`gemm_top2_ex`]) — the whole tile is transformed in
+//!    per-tile passes (`alpha`, optional scale, optional per-row bias,
+//!    optional f16 round-trip; each optional pass branches once per tile,
+//!    not per element) and then folded into per-column [`Top2`] running
 //!    minima. The fused path allocates only the packed operands
 //!    (`O((m + n)·d)`) and the `O(batch·n)` result; no `m × n` buffer.
 //!
@@ -345,19 +346,39 @@ pub fn gemm_top2_ex(
             for_each_tile(a, &bp, w, d, |p, jr, acc| {
                 let rows = MR.min(m - p * MR);
                 let cols = NR.min(w - jr * NR);
+                // Whole-tile epilogue: each transform runs as its own pass
+                // over the 16-lane tile, so the `row_bias`/`quantize_f16`
+                // branches resolve once per tile (not once per element) and
+                // every pass is a tight, branch-free loop the compiler can
+                // vectorize. Per element the op order is unchanged —
+                // alpha → scale → bias → f16 round-trip → observe — so the
+                // results stay bit-identical to the unfused pipeline.
+                let mut tile = *acc;
+                for v in &mut tile {
+                    *v *= alpha;
+                }
+                for v in &mut tile {
+                    *v *= epi.scale;
+                }
+                if let Some(bias) = epi.row_bias {
+                    // Padding lanes past `rows`/`cols` would index `bias`
+                    // out of range, so this pass alone respects the edges.
+                    for cc in 0..cols {
+                        for (r, v) in tile[cc * MR..cc * MR + rows].iter_mut().enumerate() {
+                            *v += bias[p * MR + r];
+                        }
+                    }
+                }
+                if epi.quantize_f16 {
+                    for v in &mut tile {
+                        *v = F16::from_f32(*v).to_f32();
+                    }
+                }
                 for cc in 0..cols {
                     let col_states =
                         &mut state[(jr * NR + cc) * batch..(jr * NR + cc + 1) * batch];
-                    for (r, &raw) in acc[cc * MR..cc * MR + rows].iter().enumerate() {
+                    for (r, &v) in tile[cc * MR..cc * MR + rows].iter().enumerate() {
                         let row = p * MR + r;
-                        let mut v = alpha * raw;
-                        v *= epi.scale;
-                        if let Some(bias) = epi.row_bias {
-                            v += bias[row];
-                        }
-                        if epi.quantize_f16 {
-                            v = F16::from_f32(v).to_f32();
-                        }
                         col_states[row / m_per_ref].observe((row % m_per_ref) as u32, v);
                     }
                 }

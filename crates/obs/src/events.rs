@@ -59,6 +59,10 @@ pub struct WideEvent {
     pub device_batches: u64,
     /// Host-spilled reference batches summed over answering shards.
     pub host_batches: u64,
+    /// IVF cells probed summed over answering shards (0 = exhaustive).
+    pub cells_probed: u64,
+    /// Reference batches the IVF probe pruned, summed over answering shards.
+    pub batches_pruned: u64,
     /// Transient-fault retries absorbed while fanning out this query.
     pub retries: u32,
     /// Summed simulated H2D transfer time across answering shards.
@@ -93,6 +97,8 @@ impl WideEvent {
             coalesced: 1,
             device_batches: 0,
             host_batches: 0,
+            cells_probed: 0,
+            batches_pruned: 0,
             retries: 0,
             h2d_us: 0.0,
             gemm_us: 0.0,
