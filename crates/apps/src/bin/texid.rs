@@ -7,7 +7,7 @@
 //! texid serve    --port 8080 [--containers 4]              run the REST API
 //! texid capacity                                           print the capacity planner table
 //! texid trace    [--streams 4] [--chunks 16] --out t.trace.json   export a Perfetto timeline
-//! texid bench kernels [--quick] [--check]                  CPU kernel GFLOP/s -> BENCH_kernels.json
+//! texid bench kernels [--quick] [--check] [--backend B]    per-backend kernel GFLOP/s -> BENCH_kernels.json
 //! texid bench throughput [--quick] [--check]               serving imgs/s -> BENCH_throughput.json
 //! texid bench ivf [--quick] [--check]                      IVF recall/speedup sweep -> BENCH_ivf.json
 //! texid store inspect --dir DIR                            scan a durable volume, report damage
@@ -122,7 +122,7 @@ const USAGE: &str = "usage:
   texid serve    [--port 0] [--containers 4]
   texid capacity
   texid trace    [--streams 4] [--chunks 16] [--batch 64] [--out pipeline.trace.json]
-  texid bench kernels [--quick] [--check] [--out BENCH_kernels.json]
+  texid bench kernels [--quick] [--check] [--backend scalar|avx2|neon] [--out BENCH_kernels.json]
   texid bench throughput [--quick] [--check] [--out BENCH_throughput.json]
   texid bench ivf [--quick] [--check] [--out BENCH_ivf.json]
   texid store inspect --dir DIR
@@ -327,27 +327,44 @@ fn cmd_bench(target: Option<&str>, args: &Args) -> Result<(), String> {
     }
     let quick = args.has("quick");
     let out = PathBuf::from(args.get("out").unwrap_or("BENCH_kernels.json"));
+    let backends = match args.get("backend") {
+        Some(name) => {
+            let be = texid_linalg::Backend::parse(name)
+                .ok_or_else(|| format!("unknown backend {name:?} — 'scalar', 'avx2' or 'neon'"))?;
+            if !be.is_available() {
+                return Err(format!("backend '{}' is not available on this CPU", be.name()));
+            }
+            vec![be]
+        }
+        None => texid_linalg::available_backends(),
+    };
 
     println!(
-        "running kernel benchmarks ({} mode) — packed/flat/naive GEMM and fused/unfused top-2…",
-        if quick { "quick" } else { "full" }
+        "running kernel benchmarks ({} mode, backends: {}) — packed/flat/naive GEMM and \
+         fused/unfused top-2…",
+        if quick { "quick" } else { "full" },
+        backends.iter().map(|b| b.name()).collect::<Vec<_>>().join(",")
     );
-    let report = texid_bench::kernels::run(quick);
+    let report = texid_bench::kernels::run_on(quick, &backends);
     let json = report.to_json();
     texid_bench::kernels::validate_json(&json)?;
     std::fs::write(&out, &json).map_err(|e| format!("{}: {e}", out.display()))?;
 
     for e in &report.entries {
         println!(
-            "  {:<12} {:<4} m={:<4} B={:<3} {:>10.1} us {:>8.3} GFLOP/s",
-            e.kernel, e.precision, e.m, e.batch, e.wall_us, e.gflops
+            "  {:<12} {:<4} {:<6} m={:<4} B={:<3} {:>10.1} us {:>8.3} GFLOP/s",
+            e.kernel, e.precision, e.backend, e.m, e.batch, e.wall_us, e.gflops
         );
     }
     println!("wrote {} entries to {}", report.entries.len(), out.display());
 
     if args.has("check") {
         texid_bench::kernels::check_guard(&report, 0.9)?;
-        println!("check passed: packed >= 0.9x flat GFLOP/s at the largest shape, both precisions");
+        texid_bench::kernels::check_simd_guard(&report, 1.0)?;
+        println!(
+            "check passed: scalar packed >= 0.9x flat GFLOP/s at the largest shape, and every \
+             SIMD row >= 1.0x its scalar twin"
+        );
     }
     Ok(())
 }
@@ -748,6 +765,7 @@ fn cmd_obs(action: Option<&str>, args: &Args) -> Result<(), String> {
     // that identify a comparable cell across the two runs.
     let (metric, keys): (&str, &[&str]) = match schema.as_str() {
         "texid-kernel-bench/v1" => ("gflops", &["kernel", "precision", "m", "batch"]),
+        "texid-kernel-bench/v2" => ("gflops", &["kernel", "precision", "backend", "m", "batch"]),
         "texid-throughput-bench/v1" => ("imgs_per_sec", &["clients", "coalesce"]),
         "texid-ivf-bench/v1" => ("imgs_per_sec", &["nlist", "nprobe"]),
         other => return Err(format!("unknown bench schema {other:?}")),

@@ -6,9 +6,11 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use texid_distrib::wire;
 use texid_image::TextureGenerator;
 use texid_linalg::gemm::{gemm_at_b, gemm_at_b_f16, gemm_at_b_f16_flat, gemm_at_b_flat, gemm_at_b_naive};
-use texid_linalg::kernel::{gemm_at_b_blocked, gemm_at_b_blocked_f16, gemm_top2, gemm_top2_f16};
+use texid_linalg::kernel::{
+    gemm_at_b_blocked_f16_on, gemm_at_b_blocked_on, gemm_top2_f16_on, gemm_top2_on,
+};
 use texid_linalg::top2::{sort_columns, top2_min_per_column};
-use texid_linalg::{F16, Mat};
+use texid_linalg::{available_backends, F16, Mat};
 use texid_sift::{extract, SiftConfig};
 
 fn feature_mat(d: usize, cols: usize, seed: u64) -> Mat {
@@ -38,39 +40,53 @@ fn bench_gemm(c: &mut Criterion) {
     g.finish();
 }
 
-/// Packed/blocked kernel vs the flat loop it replaced vs the naive triple
-/// loop, at the paper's pair-matching shape (m = 768, n = 768, d = 128).
+/// Packed/blocked kernel (per SIMD backend) vs the flat loop it replaced
+/// vs the naive triple loop, at the paper's pair-matching shape
+/// (m = 768, n = 768, d = 128).
 fn bench_gemm_packed(c: &mut Criterion) {
     let mut g = c.benchmark_group("gemm_packed");
     let a = feature_mat(128, 768, 11);
     let b = feature_mat(128, 768, 12);
-    g.throughput(Throughput::Elements(2 * 768 * 768 * 128));
-    g.bench_function("packed_f32", |bench| bench.iter(|| gemm_at_b_blocked(-2.0, &a, &b)));
-    g.bench_function("flat_f32", |bench| bench.iter(|| gemm_at_b_flat(-2.0, &a, &b)));
-    g.bench_function("naive_f32", |bench| bench.iter(|| gemm_at_b_naive(-2.0, &a, &b)));
     let a16 = a.to_f16_scaled(0.0078125);
     let b16 = b.to_f16_scaled(0.0078125);
-    g.bench_function("packed_f16", |bench| bench.iter(|| gemm_at_b_blocked_f16(-2.0, &a16, &b16)));
+    g.throughput(Throughput::Elements(2 * 768 * 768 * 128));
+    for be in available_backends() {
+        g.bench_with_input(BenchmarkId::new("packed_f32", be.name()), &be, |bench, &be| {
+            bench.iter(|| gemm_at_b_blocked_on(be, -2.0, &a, &b))
+        });
+        g.bench_with_input(BenchmarkId::new("packed_f16", be.name()), &be, |bench, &be| {
+            bench.iter(|| gemm_at_b_blocked_f16_on(be, -2.0, &a16, &b16))
+        });
+    }
+    g.bench_function("flat_f32", |bench| bench.iter(|| gemm_at_b_flat(-2.0, &a, &b)));
+    g.bench_function("naive_f32", |bench| bench.iter(|| gemm_at_b_naive(-2.0, &a, &b)));
     g.bench_function("flat_f16", |bench| bench.iter(|| gemm_at_b_f16_flat(-2.0, &a16, &b16)));
     g.finish();
 }
 
-/// Fused GEMM+top-2 epilogue vs materialize-then-scan, same shape.
+/// Fused GEMM+top-2 epilogue vs materialize-then-scan, same shape, per
+/// SIMD backend.
 fn bench_fused_top2(c: &mut Criterion) {
     let mut g = c.benchmark_group("fused_top2");
     let a = feature_mat(128, 768, 13);
     let b = feature_mat(128, 768, 14);
-    g.throughput(Throughput::Elements(2 * 768 * 768 * 128));
-    g.bench_function("fused_f32", |bench| bench.iter(|| gemm_top2(-2.0, &a, &b)));
-    g.bench_function("unfused_f32", |bench| {
-        bench.iter(|| top2_min_per_column(&gemm_at_b_blocked(-2.0, &a, &b)))
-    });
     let a16 = a.to_f16_scaled(0.0078125);
     let b16 = b.to_f16_scaled(0.0078125);
-    g.bench_function("fused_f16", |bench| bench.iter(|| gemm_top2_f16(-2.0, &a16, &b16)));
-    g.bench_function("unfused_f16", |bench| {
-        bench.iter(|| top2_min_per_column(&gemm_at_b_blocked_f16(-2.0, &a16, &b16)))
-    });
+    g.throughput(Throughput::Elements(2 * 768 * 768 * 128));
+    for be in available_backends() {
+        g.bench_with_input(BenchmarkId::new("fused_f32", be.name()), &be, |bench, &be| {
+            bench.iter(|| gemm_top2_on(be, -2.0, &a, &b))
+        });
+        g.bench_with_input(BenchmarkId::new("unfused_f32", be.name()), &be, |bench, &be| {
+            bench.iter(|| top2_min_per_column(&gemm_at_b_blocked_on(be, -2.0, &a, &b)))
+        });
+        g.bench_with_input(BenchmarkId::new("fused_f16", be.name()), &be, |bench, &be| {
+            bench.iter(|| gemm_top2_f16_on(be, -2.0, &a16, &b16))
+        });
+        g.bench_with_input(BenchmarkId::new("unfused_f16", be.name()), &be, |bench, &be| {
+            bench.iter(|| top2_min_per_column(&gemm_at_b_blocked_f16_on(be, -2.0, &a16, &b16)))
+        });
+    }
     g.finish();
 }
 
@@ -85,15 +101,27 @@ fn bench_top2(c: &mut Criterion) {
 
 fn bench_f16(c: &mut Criterion) {
     let values: Vec<f32> = (0..65536).map(|i| i as f32 * 0.37 - 12_000.0).collect();
+    let halves: Vec<F16> = values.iter().map(|&v| F16::from_f32(v)).collect();
     let mut g = c.benchmark_group("f16");
     g.throughput(Throughput::Elements(values.len() as u64));
     g.bench_function("narrow_64k", |bench| {
         bench.iter(|| values.iter().map(|&v| F16::from_f32(v)).collect::<Vec<_>>())
     });
-    let halves: Vec<F16> = values.iter().map(|&v| F16::from_f32(v)).collect();
     g.bench_function("widen_64k", |bench| {
         bench.iter(|| halves.iter().map(|h| h.to_f32()).collect::<Vec<f32>>())
     });
+    // The vectorized slice converters, per backend (the packing/epilogue
+    // paths the GEMM kernels actually use).
+    for be in available_backends() {
+        g.bench_with_input(BenchmarkId::new("narrow_slice_64k", be.name()), &be, |bench, &be| {
+            let mut out = vec![F16::ZERO; values.len()];
+            bench.iter(|| texid_linalg::f16::narrow_slice_scaled_on(be, &values, 1.0, &mut out))
+        });
+        g.bench_with_input(BenchmarkId::new("widen_slice_64k", be.name()), &be, |bench, &be| {
+            let mut out = vec![0.0f32; halves.len()];
+            bench.iter(|| texid_linalg::f16::widen_slice_on(be, &halves, &mut out))
+        });
+    }
     g.finish();
 }
 

@@ -1,31 +1,37 @@
 //! Kernel micro-benchmark report: packed/blocked GEMM vs the flat and naive
 //! baselines, fused vs unfused top-2, in f32 and f16, at the paper's
 //! matching shapes (m ∈ {384, 768} reference features, n = 768 query
-//! features, d = 128 descriptors, reference batches B ∈ {1, 8, 32}).
+//! features, d = 128 descriptors, reference batches B ∈ {1, 8, 32}) — each
+//! timed kernel measured once per available SIMD backend (scalar always,
+//! plus avx2/neon where the host supports them).
 //!
 //! Unlike the Criterion benches this emits a machine-readable JSON file
 //! (`BENCH_kernels.json`) with a stable schema, so CI can smoke-test the
-//! kernels ([`check_guard`]) and the repo can track GFLOP/s over time.
-//! Inputs are seeded and timings are median-of-N after a warmup run, so the
-//! report is as deterministic as wall-clock measurement allows.
+//! kernels ([`check_guard`], [`check_simd_guard`]) and the repo can track
+//! GFLOP/s over time. Inputs are seeded and timings are median-of-N after a
+//! warmup run, so the report is as deterministic as wall-clock measurement
+//! allows.
 
 use std::hint::black_box;
 use std::time::Instant;
 
+use texid_linalg::dispatch::{available_backends, Backend};
 use texid_linalg::gemm::{gemm_at_b_f16_flat, gemm_at_b_flat, gemm_at_b_naive};
 use texid_linalg::kernel::{
-    gemm_at_b_blocked, gemm_at_b_blocked_f16, gemm_top2_blocked, gemm_top2_blocked_f16,
+    gemm_at_b_blocked_f16_on, gemm_at_b_blocked_on, gemm_top2_blocked_f16_on,
+    gemm_top2_blocked_on,
 };
 use texid_linalg::mat::Mat;
 use texid_linalg::top2::top2_min_per_column_blocked;
 
 /// Schema tag stamped into every report; bump on any layout change.
-pub const SCHEMA: &str = "texid-kernel-bench/v1";
+/// v2 added the per-entry `backend` column (SIMD dispatch rows).
+pub const SCHEMA: &str = "texid-kernel-bench/v2";
 
 /// Seed for the generated feature matrices.
 pub const SEED: u64 = 0x5eed_7e71;
 
-/// One timed kernel × shape measurement.
+/// One timed kernel × backend × shape measurement.
 #[derive(Clone, Debug)]
 pub struct BenchEntry {
     /// Kernel identity: `packed`, `flat`, `naive`, `fused_top2`,
@@ -33,6 +39,9 @@ pub struct BenchEntry {
     pub kernel: &'static str,
     /// `f32` or `f16`.
     pub precision: &'static str,
+    /// Kernel backend the row was measured on (`scalar`, `avx2`, `neon`).
+    /// The flat/naive baselines have no SIMD path and always say `scalar`.
+    pub backend: &'static str,
     /// Reference features per batch block.
     pub m: usize,
     /// Query features.
@@ -73,10 +82,12 @@ impl BenchReport {
         out.push_str("  \"entries\": [\n");
         for (i, e) in self.entries.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"kernel\": \"{}\", \"precision\": \"{}\", \"m\": {}, \"n\": {}, \
-                 \"d\": {}, \"batch\": {}, \"wall_us\": {:.2}, \"gflops\": {:.4}}}{}\n",
+                "    {{\"kernel\": \"{}\", \"precision\": \"{}\", \"backend\": \"{}\", \
+                 \"m\": {}, \"n\": {}, \"d\": {}, \"batch\": {}, \"wall_us\": {:.2}, \
+                 \"gflops\": {:.4}}}{}\n",
                 e.kernel,
                 e.precision,
+                e.backend,
                 e.m,
                 e.n,
                 e.d,
@@ -91,11 +102,25 @@ impl BenchReport {
     }
 
     /// The entry for `(kernel, precision)` at the largest `(batch·m)` shape
-    /// it was measured at.
+    /// it was measured at, over any backend (ties prefer later entries,
+    /// i.e. SIMD rows, which are pushed after scalar).
     pub fn largest(&self, kernel: &str, precision: &str) -> Option<&BenchEntry> {
         self.entries
             .iter()
             .filter(|e| e.kernel == kernel && e.precision == precision)
+            .max_by_key(|e| (e.batch * e.m, e.n))
+    }
+
+    /// [`BenchReport::largest`] restricted to one backend's rows.
+    pub fn largest_on(
+        &self,
+        kernel: &str,
+        precision: &str,
+        backend: &str,
+    ) -> Option<&BenchEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.kernel == kernel && e.precision == precision && e.backend == backend)
             .max_by_key(|e| (e.batch * e.m, e.n))
     }
 }
@@ -142,6 +167,7 @@ pub fn validate_json(json: &str) -> Result<(), String> {
     }
     for key in [
         "\"precision\":",
+        "\"backend\":",
         "\"m\":",
         "\"n\":",
         "\"d\":",
@@ -156,17 +182,19 @@ pub fn validate_json(json: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// Regression guard: at the largest measured shape, the packed kernel must
-/// reach at least `min_ratio ×` the flat baseline's GFLOP/s, per precision.
+/// Regression guard: at the largest measured shape, the **scalar** packed
+/// kernel must reach at least `min_ratio ×` the flat baseline's GFLOP/s,
+/// per precision. Pinned to the scalar rows so a fast SIMD backend can
+/// never mask a scalar-kernel regression.
 pub fn check_guard(report: &BenchReport, min_ratio: f64) -> Result<(), String> {
     for precision in ["f32", "f16"] {
         let packed = report
-            .largest("packed", precision)
-            .ok_or_else(|| format!("no packed {precision} entry"))?;
+            .largest_on("packed", precision, "scalar")
+            .ok_or_else(|| format!("no scalar packed {precision} entry"))?;
         // The flat baseline only runs at batch = 1; compare at its own
         // largest shape (same m, n, d — GFLOP/s normalizes the batch away).
         let flat = report
-            .largest("flat", precision)
+            .largest_on("flat", precision, "scalar")
             .ok_or_else(|| format!("no flat {precision} entry"))?;
         let ratio = packed.gflops / flat.gflops;
         if ratio < min_ratio {
@@ -174,6 +202,42 @@ pub fn check_guard(report: &BenchReport, min_ratio: f64) -> Result<(), String> {
                 "packed {precision} at m={} B={} reaches only {ratio:.2}x of flat \
                  ({:.2} vs {:.2} GFLOP/s, floor {min_ratio}x)",
                 packed.m, packed.batch, packed.gflops, flat.gflops
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// SIMD dispatch guard: every non-scalar row must reach at least
+/// `min_ratio ×` the matching scalar row's GFLOP/s (same kernel, precision,
+/// and shape). With `min_ratio = 1.0` this asserts SIMD dispatch never
+/// *loses* to scalar anywhere it was measured — the cheapest possible
+/// "the intrinsics are actually wired up" smoke check. A report with no
+/// SIMD rows (scalar-only host, or a forced-backend run) passes vacuously;
+/// a SIMD row without its scalar twin is an error.
+pub fn check_simd_guard(report: &BenchReport, min_ratio: f64) -> Result<(), String> {
+    for e in report.entries.iter().filter(|e| e.backend != "scalar") {
+        let scalar = report
+            .entries
+            .iter()
+            .find(|s| {
+                s.backend == "scalar"
+                    && s.kernel == e.kernel
+                    && s.precision == e.precision
+                    && (s.m, s.n, s.d, s.batch) == (e.m, e.n, e.d, e.batch)
+            })
+            .ok_or_else(|| {
+                format!(
+                    "no scalar twin for {} {} m={} B={} ({})",
+                    e.kernel, e.precision, e.m, e.batch, e.backend
+                )
+            })?;
+        let ratio = e.gflops / scalar.gflops;
+        if ratio < min_ratio {
+            return Err(format!(
+                "{} {} {} at m={} B={} reaches only {ratio:.2}x of scalar \
+                 ({:.2} vs {:.2} GFLOP/s, floor {min_ratio}x)",
+                e.backend, e.kernel, e.precision, e.m, e.batch, e.gflops, scalar.gflops
             ));
         }
     }
@@ -204,21 +268,29 @@ fn time_median_us<R>(median_of: usize, mut f: impl FnMut() -> R) -> f64 {
     samples[samples.len() / 2]
 }
 
-/// Run the kernel benchmarks at the paper's matching shapes.
+/// Run the kernel benchmarks at the paper's matching shapes, on every
+/// backend available on this host.
 ///
 /// `quick` keeps only the largest pair shape at batch 1 with median-of-3
 /// timing (the CI smoke configuration); the full run sweeps
 /// m ∈ {384, 768} × B ∈ {1, 8, 32} with median-of-5.
 pub fn run(quick: bool) -> BenchReport {
+    run_on(quick, &available_backends())
+}
+
+/// [`run`] restricted to an explicit backend set (the CLI's `--backend`
+/// knob). Shapes and repetition counts are identical to [`run`].
+pub fn run_on(quick: bool, backends: &[Backend]) -> BenchReport {
     if quick {
-        run_custom(&[768], &[1], 768, 128, 3, true)
+        run_custom(&[768], &[1], 768, 128, 3, true, backends)
     } else {
-        run_custom(&[384, 768], &[1, 8, 32], 768, 128, 5, false)
+        run_custom(&[384, 768], &[1, 8, 32], 768, 128, 5, false, backends)
     }
 }
 
-/// [`run`] with explicit shapes — lets tests exercise the full measurement
-/// and serialization path in milliseconds.
+/// [`run`] with explicit shapes and backends — lets tests exercise the
+/// full measurement and serialization path in milliseconds, and lets the
+/// CLI force a single backend.
 pub fn run_custom(
     ms: &[usize],
     batches: &[usize],
@@ -226,6 +298,7 @@ pub fn run_custom(
     d: usize,
     median_of: usize,
     quick: bool,
+    backends: &[Backend],
 ) -> BenchReport {
     let mut entries = Vec::new();
     let q = feature_mat(d, n, SEED ^ 0x9e37);
@@ -236,65 +309,99 @@ pub fn run_custom(
             let r = feature_mat(d, batch * m, SEED.wrapping_add(m as u64));
             let r16 = r.to_f16_scaled(0.0078125);
             let flops = 2.0 * (batch * m) as f64 * n as f64 * d as f64;
-            let mut push = |kernel: &'static str, precision: &'static str, wall_us: f64| {
-                entries.push(BenchEntry {
-                    kernel,
-                    precision,
-                    m,
-                    n,
-                    d,
-                    batch,
-                    wall_us,
-                    gflops: flops / wall_us / 1e3,
-                });
-            };
-
-            // The new packed/blocked GEMM and its fused top-2 form.
-            push("packed", "f32", time_median_us(median_of, || gemm_at_b_blocked(-2.0, &r, &q)));
-            push(
-                "packed",
-                "f16",
-                time_median_us(median_of, || gemm_at_b_blocked_f16(-2.0, &r16, &q16)),
-            );
-            push(
-                "fused_top2",
-                "f32",
-                time_median_us(median_of, || gemm_top2_blocked(-2.0, &r, &q, batch, m)),
-            );
-            push(
-                "fused_top2",
-                "f16",
-                time_median_us(median_of, || gemm_top2_blocked_f16(-2.0, &r16, &q16, batch, m)),
-            );
-            push(
-                "unfused_top2",
-                "f32",
-                time_median_us(median_of, || {
-                    top2_min_per_column_blocked(&gemm_at_b_blocked(-2.0, &r, &q), batch, m)
-                }),
-            );
-            push(
-                "unfused_top2",
-                "f16",
-                time_median_us(median_of, || {
-                    top2_min_per_column_blocked(
-                        &gemm_at_b_blocked_f16(-2.0, &r16, &q16),
-                        batch,
+            let mut push =
+                |kernel: &'static str, precision: &'static str, be: &'static str, wall_us: f64| {
+                    entries.push(BenchEntry {
+                        kernel,
+                        precision,
+                        backend: be,
                         m,
-                    )
-                }),
-            );
+                        n,
+                        d,
+                        batch,
+                        wall_us,
+                        gflops: flops / wall_us / 1e3,
+                    });
+                };
+
+            // The packed/blocked GEMM and its fused top-2 form, once per
+            // requested backend (all bit-identical; only speed differs).
+            for &be in backends {
+                let name = be.name();
+                push(
+                    "packed",
+                    "f32",
+                    name,
+                    time_median_us(median_of, || gemm_at_b_blocked_on(be, -2.0, &r, &q)),
+                );
+                push(
+                    "packed",
+                    "f16",
+                    name,
+                    time_median_us(median_of, || gemm_at_b_blocked_f16_on(be, -2.0, &r16, &q16)),
+                );
+                push(
+                    "fused_top2",
+                    "f32",
+                    name,
+                    time_median_us(median_of, || gemm_top2_blocked_on(be, -2.0, &r, &q, batch, m)),
+                );
+                push(
+                    "fused_top2",
+                    "f16",
+                    name,
+                    time_median_us(median_of, || {
+                        gemm_top2_blocked_f16_on(be, -2.0, &r16, &q16, batch, m)
+                    }),
+                );
+                push(
+                    "unfused_top2",
+                    "f32",
+                    name,
+                    time_median_us(median_of, || {
+                        top2_min_per_column_blocked(
+                            &gemm_at_b_blocked_on(be, -2.0, &r, &q),
+                            batch,
+                            m,
+                        )
+                    }),
+                );
+                push(
+                    "unfused_top2",
+                    "f16",
+                    name,
+                    time_median_us(median_of, || {
+                        top2_min_per_column_blocked(
+                            &gemm_at_b_blocked_f16_on(be, -2.0, &r16, &q16),
+                            batch,
+                            m,
+                        )
+                    }),
+                );
+            }
 
             // Baselines are slow (the f16 flat kernel re-widens per output
-            // column); only time them unbatched, where one run is cheap.
+            // column) and have no SIMD path; only time them unbatched,
+            // where one run is cheap.
             if batch == 1 {
-                push("flat", "f32", time_median_us(median_of, || gemm_at_b_flat(-2.0, &r, &q)));
+                push(
+                    "flat",
+                    "f32",
+                    "scalar",
+                    time_median_us(median_of, || gemm_at_b_flat(-2.0, &r, &q)),
+                );
                 push(
                     "flat",
                     "f16",
+                    "scalar",
                     time_median_us(median_of, || gemm_at_b_f16_flat(-2.0, &r16, &q16)),
                 );
-                push("naive", "f32", time_median_us(median_of, || gemm_at_b_naive(-2.0, &r, &q)));
+                push(
+                    "naive",
+                    "f32",
+                    "scalar",
+                    time_median_us(median_of, || gemm_at_b_naive(-2.0, &r, &q)),
+                );
             }
         }
     }
@@ -306,52 +413,26 @@ pub fn run_custom(
 mod tests {
     use super::*;
 
+    fn entry(
+        kernel: &'static str,
+        precision: &'static str,
+        backend: &'static str,
+        batch: usize,
+        gflops: f64,
+    ) -> BenchEntry {
+        BenchEntry { kernel, precision, backend, m: 8, n: 8, d: 4, batch, wall_us: 10.0, gflops }
+    }
+
     fn tiny_report() -> BenchReport {
         BenchReport {
             seed: SEED,
             median_of: 1,
             quick: true,
             entries: vec![
-                BenchEntry {
-                    kernel: "packed",
-                    precision: "f32",
-                    m: 8,
-                    n: 8,
-                    d: 4,
-                    batch: 1,
-                    wall_us: 10.0,
-                    gflops: 1.0,
-                },
-                BenchEntry {
-                    kernel: "flat",
-                    precision: "f32",
-                    m: 8,
-                    n: 8,
-                    d: 4,
-                    batch: 1,
-                    wall_us: 10.0,
-                    gflops: 1.0,
-                },
-                BenchEntry {
-                    kernel: "packed",
-                    precision: "f16",
-                    m: 8,
-                    n: 8,
-                    d: 4,
-                    batch: 1,
-                    wall_us: 10.0,
-                    gflops: 2.0,
-                },
-                BenchEntry {
-                    kernel: "flat",
-                    precision: "f16",
-                    m: 8,
-                    n: 8,
-                    d: 4,
-                    batch: 1,
-                    wall_us: 10.0,
-                    gflops: 1.0,
-                },
+                entry("packed", "f32", "scalar", 1, 1.0),
+                entry("flat", "f32", "scalar", 1, 1.0),
+                entry("packed", "f16", "scalar", 1, 2.0),
+                entry("flat", "f16", "scalar", 1, 1.0),
             ],
         }
     }
@@ -368,6 +449,8 @@ mod tests {
         assert!(validate_json("{}").is_err());
         let truncated = tiny_report().to_json().replace("\"gflops\": 1.0000", "\"oops\": 1");
         assert!(validate_json(&truncated).is_err());
+        let missing_backend = tiny_report().to_json().replacen("\"backend\"", "\"oops\"", 1);
+        assert!(validate_json(&missing_backend).is_err(), "v2 requires backend on every entry");
     }
 
     #[test]
@@ -378,18 +461,38 @@ mod tests {
     }
 
     #[test]
+    fn guard_pins_to_scalar_rows() {
+        // A fast SIMD packed row must not rescue a slow scalar packed row.
+        let mut r = tiny_report();
+        for e in &mut r.entries {
+            if e.kernel == "packed" && e.precision == "f32" {
+                e.gflops = 0.5;
+            }
+        }
+        r.entries.push(entry("packed", "f32", "avx2", 1, 50.0));
+        assert!(check_guard(&r, 0.9).is_err(), "scalar packed f32 is 0.5x flat");
+    }
+
+    #[test]
+    fn simd_guard_compares_matching_cells() {
+        let mut r = tiny_report();
+        assert!(check_simd_guard(&r, 1.0).is_ok(), "no SIMD rows passes vacuously");
+        r.entries.push(entry("packed", "f32", "avx2", 1, 4.0));
+        assert!(check_simd_guard(&r, 1.0).is_ok());
+        assert!(check_simd_guard(&r, 5.0).is_err(), "ratio is 4.0, floor 5.0 must fail");
+        r.entries.push(entry("packed", "f32", "avx2", 2, 4.0));
+        assert!(
+            check_simd_guard(&r, 1.0).is_err(),
+            "batch-2 SIMD row has no scalar twin: must be an error, not skipped"
+        );
+    }
+
+    #[test]
     fn largest_picks_biggest_batch_times_m() {
         let mut r = tiny_report();
-        r.entries.push(BenchEntry {
-            kernel: "packed",
-            precision: "f32",
-            m: 8,
-            n: 8,
-            d: 4,
-            batch: 4,
-            wall_us: 10.0,
-            gflops: 3.0,
-        });
+        r.entries.push(entry("packed", "f32", "scalar", 4, 3.0));
         assert_eq!(r.largest("packed", "f32").expect("present").batch, 4);
+        assert_eq!(r.largest_on("packed", "f32", "scalar").expect("present").batch, 4);
+        assert!(r.largest_on("packed", "f32", "avx2").is_none());
     }
 }

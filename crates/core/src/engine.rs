@@ -17,6 +17,7 @@
 //!   cost model).
 
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 use rayon::prelude::*;
@@ -52,6 +53,15 @@ struct Telemetry {
 impl Telemetry {
     fn register() -> Telemetry {
         let reg = texid_obs::global();
+        // Constant info gauge: which SIMD kernel backend this process
+        // dispatched to (scalar / avx2 / neon). Registered from the engine
+        // because `texid-obs` deliberately has no linalg dependency.
+        reg.gauge(
+            "texid_kernel_backend_info",
+            "Active SIMD kernel backend (constant 1; the backend is the label).",
+            &[("backend", texid_linalg::active_backend().name())],
+        )
+        .set(1.0);
         Telemetry {
             encode: reg.stage_duration("encode", "wall"),
             probe: reg.stage_duration("probe", "sim"),
@@ -134,6 +144,13 @@ pub struct EngineConfig {
     pub streams: usize,
     /// Hybrid cache sizing.
     pub cache: CacheConfig,
+    /// Serving-path cache-rebalance cadence: run
+    /// [`Engine::rebalance_cache`] after every `rebalance_every` sealed
+    /// batches *or* search passes (whichever accumulates first). `0`
+    /// disables the cadence — rebalancing then only happens when called
+    /// explicitly. Promotions need probe heat, which accrues only with the
+    /// IVF probe on, so the default cadence is free on non-IVF setups.
+    pub rebalance_every: usize,
 }
 
 impl Default for EngineConfig {
@@ -146,6 +163,7 @@ impl Default for EngineConfig {
             batch_size: 256,
             streams: 8,
             cache: CacheConfig::default(),
+            rebalance_every: 64,
         }
     }
 }
@@ -311,6 +329,9 @@ pub struct Engine {
     /// pool is dry, i.e. at most once per concurrent worker) and returns it.
     scratch: Mutex<Vec<GpuSim>>,
     telemetry: Telemetry,
+    /// Sealed batches + search passes since the last cache rebalance.
+    /// Atomic because the search path bumps it under `&self`.
+    since_rebalance: AtomicUsize,
 }
 
 impl Engine {
@@ -334,6 +355,7 @@ impl Engine {
             unindexed_pools: Vec::new(),
             scratch: Mutex::new(Vec::new()),
             telemetry: Telemetry::register(),
+            since_rebalance: AtomicUsize::new(0),
         }
     }
 
@@ -451,6 +473,8 @@ impl Engine {
                 }
             }
         }
+        self.since_rebalance.fetch_add(1, Ordering::Relaxed);
+        self.maybe_rebalance();
         Ok(())
     }
 
@@ -493,7 +517,30 @@ impl Engine {
     /// the number of promotions. Heat accrues on the `&self` search path;
     /// this is the write-locked maintenance step that acts on it.
     pub fn rebalance_cache(&mut self) -> usize {
+        self.since_rebalance.store(0, Ordering::Relaxed);
         self.cache.rebalance(&mut self.sim)
+    }
+
+    /// True when the serving-path cadence says a rebalance should run:
+    /// `rebalance_every > 0` and at least that many sealed batches + search
+    /// passes have accumulated since the last rebalance. Read-only — lets a
+    /// reader (e.g. a shard holding a read lock) decide whether upgrading
+    /// to a write lock is worth it before taking one.
+    pub fn rebalance_due(&self) -> bool {
+        let every = self.cfg.rebalance_every;
+        every > 0 && self.since_rebalance.load(Ordering::Relaxed) >= every
+    }
+
+    /// Run the cadenced rebalance if [`Engine::rebalance_due`]; returns the
+    /// number of promotions (0 when not due). Seal paths call this
+    /// directly; serving paths check `rebalance_due` first to avoid the
+    /// write lock.
+    pub fn maybe_rebalance(&mut self) -> usize {
+        if self.rebalance_due() {
+            self.rebalance_cache()
+        } else {
+            0
+        }
     }
 
     fn seal_phantom_batch(&mut self) -> Result<(), CacheError> {
@@ -511,6 +558,8 @@ impl Engine {
         self.next_batch += 1;
         self.cache.insert(id, batch, &mut self.sim)?;
         self.pending_phantom = 0;
+        self.since_rebalance.fetch_add(1, Ordering::Relaxed);
+        self.maybe_rebalance();
         Ok(())
     }
 
@@ -861,6 +910,10 @@ impl Engine {
             ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
             results.push(SearchResult { ranked, report });
         }
+        // One cadence tick per search pass (not per coalesced query): the
+        // maintenance step that consumes these ticks needs a write lock, so
+        // the serving path only counts here and checks `rebalance_due`.
+        self.since_rebalance.fetch_add(1, Ordering::Relaxed);
         results
     }
 }
@@ -963,6 +1016,7 @@ mod tests {
                     device_reserve_bytes: 256 << 20,
                     pinned: true,
                 },
+                rebalance_every: 0,
             })
         };
         let mut cramped = mk(small_dev);
@@ -1228,5 +1282,94 @@ mod tests {
         // reports how many host batches it promoted into device memory.
         let promoted = engine.rebalance_cache();
         let _ = promoted;
+    }
+
+    /// The serving-path cadence: with `rebalance_every` small, probed
+    /// searches running concurrently behind a read lock accrue both heat
+    /// and cadence ticks, and the shard-style maintenance leg
+    /// (`try_write` then `maybe_rebalance`) promotes probe-hot host
+    /// batches to the device tier while searchers keep running.
+    #[test]
+    fn cadenced_rebalance_promotes_under_concurrent_search() {
+        use std::sync::atomic::AtomicBool;
+
+        // Device sized for ~6 of the 32 KiB (128×128 f16) batches: with 12
+        // single-reference batches the FIFO leaves ids 0–5 host-resident.
+        let mut spec = DeviceSpec::tesla_p100();
+        spec.mem_bytes = 7 * 32 * 1024;
+        spec.context_overhead_bytes = 0;
+        let mut engine = Engine::new(EngineConfig {
+            device: spec,
+            m_ref: 128,
+            n_query: 256,
+            batch_size: 1,
+            matching: MatchConfig {
+                ivf: texid_knn::IvfParams {
+                    enabled: true,
+                    nlist: 4,
+                    nprobe: 1,
+                    ..texid_knn::IvfParams::default()
+                },
+                ..MatchConfig::default()
+            },
+            cache: CacheConfig {
+                host_capacity_bytes: 64 << 30,
+                device_reserve_bytes: 0,
+                pinned: true,
+            },
+            rebalance_every: 3,
+            ..EngineConfig::default()
+        });
+        for id in 0..12u64 {
+            engine.add_reference(id, &features(id, 128)).unwrap();
+        }
+        engine.flush().unwrap();
+        assert!(engine.ivf_index().is_some());
+        assert!(
+            engine.cache_stats().swaps > 0,
+            "setup must leave some batches host-resident"
+        );
+
+        let engine = parking_lot::RwLock::new(engine);
+        let stop = AtomicBool::new(false);
+        let promoted = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            // Searcher threads: probed queries for host-resident references
+            // (ids 0–2), heating their batches and ticking the cadence.
+            for t in 0..2u64 {
+                let (engine, stop) = (&engine, &stop);
+                s.spawn(move || {
+                    let q = features(t, 128);
+                    while !stop.load(Ordering::Relaxed) {
+                        let r = engine.read().search(&q);
+                        assert!(!r.ranked.is_empty());
+                    }
+                });
+            }
+            // Maintenance loop: check the cadence under the read lock,
+            // then take the write lock to act on it (the cluster leg uses
+            // `try_write` to never stall a search; here the blocking write
+            // guarantees the maintenance step actually wins the lock on a
+            // single-core host where searchers re-acquire back-to-back).
+            for _ in 0..5000 {
+                if engine.read().rebalance_due() {
+                    promoted.fetch_add(engine.write().maybe_rebalance(), Ordering::Relaxed);
+                }
+                if promoted.load(Ordering::Relaxed) > 0 {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+
+        assert!(
+            promoted.load(Ordering::Relaxed) > 0,
+            "cadenced maintenance never promoted a probe-hot host batch"
+        );
+        assert_eq!(
+            promoted.load(Ordering::Relaxed) as u64,
+            engine.read().cache_stats().promotions,
+        );
     }
 }

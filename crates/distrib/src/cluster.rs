@@ -1200,6 +1200,16 @@ impl Cluster {
                                 // Concurrent searches coalesce into one
                                 // multi-query sweep under a shared read lock.
                                 let mut r = shard.coalescer.search(&shard.engine, query);
+                                // Cadenced cache maintenance: when enough
+                                // sealed batches + searches have accrued,
+                                // promote probe-hot host batches — but only
+                                // if the write lock is free; a search leg
+                                // must never stall behind promotions.
+                                if shard.engine.read().rebalance_due() {
+                                    if let Some(mut engine) = shard.engine.try_write() {
+                                        engine.maybe_rebalance();
+                                    }
+                                }
                                 // The unperturbed report *is* the analytic
                                 // Eq. 3/4 prediction for this exact query
                                 // shape; everything below perturbs only

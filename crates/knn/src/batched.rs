@@ -12,7 +12,7 @@ use crate::pair::{Algorithm, ExecMode, MatchConfig, StepTimes, D2H_BYTES_PER_QUE
 use crate::ratio::count_good_matches;
 use texid_gpu::{cost, GpuSim, Kernel, Precision, StreamId};
 use texid_linalg::gemm::{gemm_at_b_f16, neg2_at_b};
-use texid_linalg::kernel::{gemm_top2_blocked, gemm_top2_blocked_f16};
+use texid_linalg::kernel::{gemm_top2_blocked_f16_on, gemm_top2_blocked_on};
 use texid_linalg::mat::MatF16;
 use texid_linalg::top2::{top2_min_per_column_blocked, Top2};
 
@@ -120,13 +120,14 @@ pub fn match_batch(
     let (raw, s2) = if cfg.fused {
         // Fused: the per-block scan consumes GEMM tiles as they finish; the
         // `(B·m) × n` similarity matrix is never materialized.
+        let be = cfg.kernel_backend();
         match (r_cat, q) {
             (FeatureBlock::F32(rm), FeatureBlock::F32(qm)) => {
-                (gemm_top2_blocked(-2.0, rm, qm, batch, m_per_ref), 1.0)
+                (gemm_top2_blocked_on(be, -2.0, rm, qm, batch, m_per_ref), 1.0)
             }
             (FeatureBlock::F16 { mat: rm, scale: rs }, FeatureBlock::F16 { mat: qm, scale: qs }) => {
                 assert_eq!(rs, qs, "reference/query scale mismatch");
-                (gemm_top2_blocked_f16(-2.0, rm, qm, batch, m_per_ref), rs * qs)
+                (gemm_top2_blocked_f16_on(be, -2.0, rm, qm, batch, m_per_ref), rs * qs)
             }
             _ => panic!("reference and query blocks must share a precision"),
         }

@@ -4,8 +4,9 @@
 use crate::block::FeatureBlock;
 use crate::ratio::{good_matches, FeatureMatch};
 use texid_gpu::{cost, GpuSim, Kernel, Precision, StreamId};
+use texid_linalg::dispatch::{active_backend, Backend};
 use texid_linalg::gemm::{gemm_at_b_f16, neg2_at_b};
-use texid_linalg::kernel::{gemm_top2, gemm_top2_ex, gemm_top2_f16, FusedEpilogue, Operand, PackedA};
+use texid_linalg::kernel::{gemm_top2_ex, gemm_top2_f16_on, gemm_top2_on, FusedEpilogue, Operand, PackedA};
 use texid_linalg::mat::{Mat, MatF16};
 use texid_linalg::norms::col_sq_norms;
 use texid_linalg::top2::{sort_columns, top2_min_per_column, top2_min_per_column_f16, Top2};
@@ -97,6 +98,21 @@ pub struct MatchConfig {
     pub fused: bool,
     /// IVF coarse-index settings (candidate pruning before the exact sweep).
     pub ivf: IvfParams,
+    /// Force a specific SIMD kernel backend for this configuration's GEMMs.
+    /// `None` (the default) uses the process-wide dispatch —
+    /// `TEXID_KERNEL_BACKEND` override or runtime CPU detection. A forced
+    /// backend unavailable on this host degrades to scalar. All backends are
+    /// bit-identical, so this knob affects speed only, never results.
+    pub backend: Option<Backend>,
+}
+
+impl MatchConfig {
+    /// The kernel backend this configuration resolves to: the forced
+    /// [`MatchConfig::backend`] if set, else the process-wide
+    /// [`active_backend`].
+    pub fn kernel_backend(&self) -> Backend {
+        self.backend.unwrap_or_else(active_backend)
+    }
 }
 
 impl Default for MatchConfig {
@@ -110,6 +126,7 @@ impl Default for MatchConfig {
             exec: ExecMode::Full,
             fused: true,
             ivf: IvfParams::default(),
+            backend: None,
         }
     }
 }
@@ -318,10 +335,11 @@ pub(crate) fn run_functional(cfg: &MatchConfig, r: &FeatureBlock, q: &FeatureBlo
                 // Fused path: the unscale, N_R add, and (FP16) output
                 // quantization all run in the GEMM epilogue; the m × n
                 // similarity matrix never exists.
+                let be = cfg.kernel_backend();
                 match (r, q) {
                     (FeatureBlock::F32(rm), FeatureBlock::F32(qm)) => gemm_top2_ex(
                         -2.0,
-                        &PackedA::from_f32(rm),
+                        &PackedA::from_f32_on(be, rm),
                         Operand::F32(qm),
                         &FusedEpilogue { row_bias: Some(&n_r), ..FusedEpilogue::default() },
                         1,
@@ -334,7 +352,7 @@ pub(crate) fn run_functional(cfg: &MatchConfig, r: &FeatureBlock, q: &FeatureBlo
                         assert_eq!(rs, qs, "reference/query scale mismatch");
                         gemm_top2_ex(
                             -2.0,
-                            &PackedA::from_f16(rm),
+                            &PackedA::from_f16_on(be, rm),
                             Operand::F16(qm),
                             &FusedEpilogue {
                                 scale: 1.0 / (rs * qs),
@@ -382,16 +400,17 @@ pub(crate) fn run_functional(cfg: &MatchConfig, r: &FeatureBlock, q: &FeatureBlo
         Algorithm::RootSiftTop2 => {
             // Algorithm 2: ρ = √(2 − 2·rᵀq) for unit-norm RootSIFT columns.
             let (raw, s2) = if cfg.fused {
+                let be = cfg.kernel_backend();
                 match (r, q) {
                     (FeatureBlock::F32(rm), FeatureBlock::F32(qm)) => {
-                        (gemm_top2(-2.0, rm, qm), 1.0)
+                        (gemm_top2_on(be, -2.0, rm, qm), 1.0)
                     }
                     (
                         FeatureBlock::F16 { mat: rm, scale: rs },
                         FeatureBlock::F16 { mat: qm, scale: qs },
                     ) => {
                         assert_eq!(rs, qs, "reference/query scale mismatch");
-                        (gemm_top2_f16(-2.0, rm, qm), rs * qs)
+                        (gemm_top2_f16_on(be, -2.0, rm, qm), rs * qs)
                     }
                     _ => panic!("reference and query blocks must share a precision"),
                 }
@@ -450,6 +469,49 @@ mod tests {
 
     fn cfg(algorithm: Algorithm, precision: Precision) -> MatchConfig {
         MatchConfig { algorithm, precision, ..MatchConfig::default() }
+    }
+
+    #[test]
+    fn forced_backends_bit_identical_across_algorithms() {
+        // The summation-order contract makes every kernel backend
+        // bit-identical, so forcing any available backend must reproduce the
+        // scalar results exactly — distances included, not just indices.
+        let scale = 2.0_f32.powi(-7);
+        let rm = unit_features(128, 37, 31);
+        let qm = unit_features(128, 23, 41);
+        for alg in [Algorithm::CublasTop2, Algorithm::RootSiftTop2] {
+            for precision in [Precision::F32, Precision::F16] {
+                let (r, q) = (
+                    FeatureBlock::from_mat(rm.clone(), precision, scale),
+                    FeatureBlock::from_mat(qm.clone(), precision, scale),
+                );
+                for fused in [true, false] {
+                    let base = MatchConfig { scale, fused, ..cfg(alg, precision) };
+                    let scalar = run_functional(
+                        &MatchConfig { backend: Some(Backend::Scalar), ..base },
+                        &r,
+                        &q,
+                    );
+                    for be in texid_linalg::available_backends() {
+                        let out =
+                            run_functional(&MatchConfig { backend: Some(be), ..base }, &r, &q);
+                        for (a, b) in scalar.iter().zip(&out) {
+                            assert_eq!(a.idx, b.idx, "{alg:?}/{precision:?}/{be} index");
+                            assert_eq!(
+                                a.d1.to_bits(),
+                                b.d1.to_bits(),
+                                "{alg:?}/{precision:?}/fused={fused}/{be} d1"
+                            );
+                            assert_eq!(
+                                a.d2.to_bits(),
+                                b.d2.to_bits(),
+                                "{alg:?}/{precision:?}/fused={fused}/{be} d2"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

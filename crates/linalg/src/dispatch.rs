@@ -1,0 +1,202 @@
+//! Runtime selection of the GEMM microkernel / f16-conversion backend.
+//!
+//! The packed kernel ([`crate::kernel`]) and the f16 widen/narrow paths
+//! ([`crate::f16`]) each have explicit `std::arch` SIMD implementations next
+//! to the portable scalar ones. Which implementation runs is decided **once
+//! per process** by [`active_backend`]:
+//!
+//! 1. If `TEXID_KERNEL_BACKEND` is set to `scalar`, `avx2` or `neon`, that
+//!    backend is forced — falling back to [`Backend::Scalar`] if the forced
+//!    backend is not available on this CPU (a forced-but-missing SIMD path
+//!    must degrade safely, never crash).
+//! 2. Otherwise (unset, `auto`, or an unrecognized value) the best
+//!    available backend is probed with [`Backend::detect`]:
+//!    [`Backend::Avx2`] on x86-64 CPUs with AVX2 **and** F16C
+//!    (`is_x86_feature_detected!`), [`Backend::Neon`] on aarch64 (NEON is
+//!    baseline there), [`Backend::Scalar`] everywhere else.
+//!
+//! The probe result is cached in a [`OnceLock`], so the hot paths pay one
+//! relaxed atomic load, not a `cpuid` or an env lookup, per dispatch.
+//!
+//! Callers that need a *specific* backend regardless of the process default
+//! (benchmarks, per-backend tests, `MatchConfig` overrides) use the `*_on`
+//! entry points in [`crate::kernel`] and [`crate::f16`], which take a
+//! [`Backend`] explicitly.
+//!
+//! All backends are **bit-identical**: every SIMD microkernel keeps one
+//! accumulator per output element summed in ascending-`k` order with
+//! separate multiply and add (never FMA), and the SIMD f16 converters
+//! reproduce the scalar reference's rounding and NaN canonicalization
+//! exactly (see the summation-order contract in [`crate::kernel`]).
+
+use std::sync::OnceLock;
+
+/// A microkernel / conversion implementation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Portable scalar 4×4 register tile; the always-on fallback.
+    Scalar,
+    /// x86-64 AVX2 8×8 tile with F16C half conversions. Deliberately does
+    /// **not** use FMA instructions: separate `vmulps`/`vaddps` keep the
+    /// results bit-identical to the scalar kernel (see [`crate::kernel`]).
+    Avx2,
+    /// aarch64 NEON 8×4 tile (`vmulq_f32`/`vaddq_f32`, same contract).
+    Neon,
+}
+
+impl Backend {
+    /// All backends, in preference order (best first).
+    pub const ALL: [Backend; 3] = [Backend::Avx2, Backend::Neon, Backend::Scalar];
+
+    /// Stable lowercase name, as used by `TEXID_KERNEL_BACKEND`, the
+    /// `--backend` CLI knob and the bench report's `backend` column.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Avx2 => "avx2",
+            Backend::Neon => "neon",
+        }
+    }
+
+    /// Parse a backend name (`scalar` / `avx2` / `neon`, case-insensitive).
+    pub fn parse(s: &str) -> Option<Backend> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(Backend::Scalar),
+            "avx2" => Some(Backend::Avx2),
+            "neon" => Some(Backend::Neon),
+            _ => None,
+        }
+    }
+
+    /// True when this backend can run on the current CPU.
+    pub fn is_available(self) -> bool {
+        match self {
+            Backend::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx2 => {
+                std::arch::is_x86_feature_detected!("avx2")
+                    && std::arch::is_x86_feature_detected!("f16c")
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            Backend::Avx2 => false,
+            Backend::Neon => cfg!(target_arch = "aarch64"),
+        }
+    }
+
+    /// The best available backend on this CPU.
+    pub fn detect() -> Backend {
+        *Backend::ALL
+            .iter()
+            .find(|b| b.is_available())
+            .expect("scalar backend is always available")
+    }
+
+    /// Resolve a `TEXID_KERNEL_BACKEND`-style override string: a known,
+    /// available backend name forces that backend; a known but unavailable
+    /// name degrades to [`Backend::Scalar`]; anything else (including
+    /// `auto`) probes with [`Backend::detect`].
+    pub fn from_env_value(v: &str) -> Backend {
+        match Backend::parse(v) {
+            Some(b) if b.is_available() => b,
+            Some(_) => Backend::Scalar,
+            None => Backend::detect(),
+        }
+    }
+
+    /// Reference (A) columns per register tile — rows of the output tile.
+    pub fn mr(self) -> usize {
+        match self {
+            Backend::Scalar => 4,
+            Backend::Avx2 => 8,
+            Backend::Neon => 8,
+        }
+    }
+
+    /// Query (B) columns per register tile — columns of the output tile.
+    pub fn nr(self) -> usize {
+        match self {
+            Backend::Scalar => 4,
+            Backend::Avx2 => 8,
+            Backend::Neon => 4,
+        }
+    }
+}
+
+impl core::fmt::Display for Backend {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Largest `mr() · nr()` over all backends — the size of the stack scratch
+/// tile the drivers allocate.
+pub(crate) const MAX_TILE: usize = 64;
+
+/// The process-wide backend: `TEXID_KERNEL_BACKEND` if set (see
+/// [`Backend::from_env_value`]), otherwise the best available. Cached after
+/// the first call — changing the env var later has no effect.
+pub fn active_backend() -> Backend {
+    static ACTIVE: OnceLock<Backend> = OnceLock::new();
+    *ACTIVE.get_or_init(|| match std::env::var("TEXID_KERNEL_BACKEND") {
+        Ok(v) => Backend::from_env_value(&v),
+        Err(_) => Backend::detect(),
+    })
+}
+
+/// Every backend that can run on this CPU, scalar last (preference order).
+pub fn available_backends() -> Vec<Backend> {
+    Backend::ALL.iter().copied().filter(|b| b.is_available()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_always_available_and_detect_never_panics() {
+        assert!(Backend::Scalar.is_available());
+        assert!(Backend::detect().is_available());
+        assert!(available_backends().contains(&Backend::Scalar));
+    }
+
+    #[test]
+    fn parse_names_roundtrip() {
+        for b in Backend::ALL {
+            assert_eq!(Backend::parse(b.name()), Some(b));
+            assert_eq!(Backend::parse(&b.name().to_uppercase()), Some(b));
+        }
+        assert_eq!(Backend::parse("auto"), None);
+        assert_eq!(Backend::parse("sse9"), None);
+    }
+
+    #[test]
+    fn env_override_resolution() {
+        // A forced, available backend wins.
+        assert_eq!(Backend::from_env_value("scalar"), Backend::Scalar);
+        for b in available_backends() {
+            assert_eq!(Backend::from_env_value(b.name()), b);
+        }
+        // Forced-but-unavailable degrades to scalar, never panics.
+        for b in Backend::ALL {
+            if !b.is_available() {
+                assert_eq!(Backend::from_env_value(b.name()), Backend::Scalar);
+            }
+        }
+        // auto / garbage probe the best available.
+        assert_eq!(Backend::from_env_value("auto"), Backend::detect());
+        assert_eq!(Backend::from_env_value("banana"), Backend::detect());
+    }
+
+    #[test]
+    fn tile_geometry_fits_scratch() {
+        for b in Backend::ALL {
+            assert!(b.mr() * b.nr() <= MAX_TILE);
+            assert!(b.mr() >= 1 && b.nr() >= 1);
+        }
+    }
+
+    #[test]
+    fn active_backend_is_available() {
+        assert!(active_backend().is_available());
+    }
+}

@@ -177,6 +177,116 @@ impl core::fmt::Display for F16 {
     }
 }
 
+use crate::dispatch::{active_backend, Backend};
+
+/// Widen a slice of halves to f32 with the process-wide backend
+/// ([`active_backend`]) — `dst[i] = src[i].to_f32()`, bit-identical on
+/// every backend.
+///
+/// # Panics
+/// Panics if the slice lengths differ.
+pub fn widen_slice(src: &[F16], dst: &mut [f32]) {
+    widen_slice_on(active_backend(), src, dst)
+}
+
+/// [`widen_slice`] with an explicit backend (tests, benches, forced
+/// configs). An unavailable backend falls back to the scalar path.
+///
+/// # Panics
+/// Panics if the slice lengths differ.
+pub fn widen_slice_on(be: Backend, src: &[F16], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len(), "widen_slice length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if be == Backend::Avx2 && be.is_available() {
+        // SAFETY: availability re-checked; the cpuid probe is cached by std.
+        unsafe { crate::simd::x86::widen_slice(src, dst) };
+        return;
+    }
+    #[cfg(target_arch = "aarch64")]
+    if be == Backend::Neon && be.is_available() {
+        // SAFETY: NEON is baseline on aarch64.
+        unsafe { crate::simd::neon::widen_slice(src, dst) };
+        return;
+    }
+    let _ = be;
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = s.to_f32();
+    }
+}
+
+/// Widen with a post-scale: `dst[i] = src[i].to_f32() * scale` (the
+/// [`crate::mat::MatF16::to_f32_unscaled`] inner loop).
+///
+/// # Panics
+/// Panics if the slice lengths differ.
+pub fn widen_slice_scaled_on(be: Backend, src: &[F16], scale: f32, dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len(), "widen_slice_scaled length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if be == Backend::Avx2 && be.is_available() {
+        // SAFETY: availability re-checked; the cpuid probe is cached by std.
+        unsafe { crate::simd::x86::widen_slice_scaled(src, scale, dst) };
+        return;
+    }
+    #[cfg(target_arch = "aarch64")]
+    if be == Backend::Neon && be.is_available() {
+        // SAFETY: NEON is baseline on aarch64.
+        unsafe { crate::simd::neon::widen_slice_scaled(src, scale, dst) };
+        return;
+    }
+    let _ = be;
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = s.to_f32() * scale;
+    }
+}
+
+/// Narrow a slice of f32 to f16 with the process-wide backend —
+/// `dst[i] = F16::from_f32(src[i])`, bit-identical on every backend
+/// (SIMD paths canonicalize NaN lanes to the scalar `sign | 0x7e00`).
+///
+/// # Panics
+/// Panics if the slice lengths differ.
+pub fn narrow_slice(src: &[f32], dst: &mut [F16]) {
+    narrow_slice_scaled_on(active_backend(), src, 1.0, dst)
+}
+
+/// Narrow with a pre-scale: `dst[i] = F16::from_f32(src[i] * scale)` (the
+/// [`crate::mat::Mat::to_f16_scaled`] inner loop). An unavailable backend
+/// falls back to the scalar path.
+///
+/// # Panics
+/// Panics if the slice lengths differ.
+pub fn narrow_slice_scaled_on(be: Backend, src: &[f32], scale: f32, dst: &mut [F16]) {
+    assert_eq!(src.len(), dst.len(), "narrow_slice length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if be == Backend::Avx2 && be.is_available() {
+        // SAFETY: availability re-checked; the cpuid probe is cached by std.
+        unsafe { crate::simd::x86::narrow_slice_scaled(src, scale, dst) };
+        return;
+    }
+    let _ = be;
+    // NEON has no stable f16 vector conversion; aarch64 narrows through
+    // the scalar reference (see `crate::simd`).
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = F16::from_f32(s * scale);
+    }
+}
+
+/// In-place f16 round-trip — `v = F16::from_f32(v).to_f32()` — the fused
+/// top-2 epilogue's quantize pass, on an explicit backend. Bit-identical
+/// on every backend (NaNs canonicalize to `sign | 0x7fc0_0000`).
+pub fn quantize_in_place_on(be: Backend, vals: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if be == Backend::Avx2 && be.is_available() {
+        // SAFETY: availability re-checked; the cpuid probe is cached by std.
+        unsafe { crate::simd::x86::quantize_in_place(vals) };
+        return;
+    }
+    let _ = be;
+    for v in vals {
+        *v = F16::from_f32(*v).to_f32();
+    }
+}
+
 /// Quantize a slice through f16 (scale → f16 → widen → unscale), the exact
 /// transformation applied to feature matrices before HGEMM.
 pub fn quantize_roundtrip(values: &[f32], scale: f32) -> Vec<f32> {

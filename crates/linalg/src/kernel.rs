@@ -39,48 +39,89 @@
 //!    minima. The fused path allocates only the packed operands
 //!    (`O((m + n)·d)`) and the `O(batch·n)` result; no `m × n` buffer.
 //!
-//! # Summation order
+//! # Summation order (the backend contract)
 //!
 //! Each accumulator sums its dot product in ascending-`k` order with no
 //! intra-dot splitting, which is the same order
 //! [`crate::gemm::gemm_at_b_naive`] uses — f32 results are bit-identical to
 //! the naive reference on targets without implicit FMA contraction (Rust
-//! never emits contraction for `a * b + c`). The retained pre-packing
-//! kernels (`gemm_at_b_flat`) split each dot four ways and therefore round
-//! differently; tests comparing the two must use a tolerance (see
-//! `crate::gemm`).
+//! never emits contraction for `a * b + c`). **Every runtime backend
+//! ([`Backend`]) honors this contract**: the AVX2 8×8 and NEON 8×4
+//! microkernels map SIMD lanes to *distinct output rows* (one accumulator
+//! per element, still ascending-`k`) and deliberately issue separate
+//! vector multiply and add instructions — never FMA, whose single rounding
+//! would diverge from the scalar kernel. Widening the register tile
+//! (`MR × NR` is 4×4 scalar, 8×8 AVX2, 8×4 NEON) changes only which
+//! elements are computed *together*; each element's sum, the epilogue's
+//! per-element op order, and the ascending-row tile emission that the
+//! top-2 first-index tie-break relies on are all unchanged. Consequently
+//! `gemm_packed` / `gemm_top2_ex` results are **bit-identical across
+//! scalar, AVX2 and NEON**, and the fused-vs-unfused / degenerate-IVF /
+//! coalescer bit-exactness suites pin the contract for whichever backend
+//! dispatch selects. The retained pre-packing kernels (`gemm_at_b_flat`)
+//! split each dot four ways and therefore round differently; tests
+//! comparing the two must use a tolerance (see `crate::gemm`).
+//!
+//! # Backend selection
+//!
+//! The microkernel (and the f16 widen/narrow used in packing and the
+//! quantize pass) is chosen per [`PackedA`] at *pack time* — panel width
+//! equals the backend's `MR`, so the kernel that consumes a pack is always
+//! the one it was laid out for. [`PackedA::from_f32`]/[`PackedA::from_f16`] bind the
+//! process-wide [`active_backend`] (probed once, overridable via
+//! `TEXID_KERNEL_BACKEND`); the `*_on` constructors and wrappers force an
+//! explicit backend for tests, benches and `MatchConfig` overrides. A
+//! forced-but-unavailable backend silently degrades to scalar.
 
+use crate::dispatch::{active_backend, Backend, MAX_TILE};
 use crate::f16::F16;
 use crate::mat::{Mat, MatF16};
 use crate::top2::Top2;
 use rayon::prelude::*;
 
-/// Reference (A) columns per register tile — rows of the output tile.
+/// Reference (A) columns per **scalar** register tile — rows of the output
+/// tile. SIMD backends use wider tiles: see [`Backend::mr`].
 pub const MR: usize = 4;
-/// Query (B) columns per register tile — columns of the output tile.
+/// Query (B) columns per **scalar** register tile — columns of the output
+/// tile. SIMD backends may differ: see [`Backend::nr`].
 pub const NR: usize = 4;
-/// A panels per cache block (`MC = MC_PANELS · MR = 128` reference columns,
-/// a `128 × 128` f32 slice ≈ 64 KiB of packed A kept hot per block).
-const MC_PANELS: usize = 32;
+/// Reference rows per cache block (`MC_ROWS / mr` panels — a
+/// `128 × 128` f32 slice ≈ 64 KiB of packed A kept hot per block,
+/// independent of the backend's panel width).
+const MC_ROWS: usize = 128;
 /// Output columns per parallel task (packed B chunk ≤ `NC·d` floats).
 const NC: usize = 64;
 
 /// Elements the packer can widen to f32.
 trait Widen: Copy {
+    /// True when packing should read source elements directly (f32);
+    /// false routes each column through the backend's vectorized widen.
+    const DIRECT: bool;
     fn widen(self) -> f32;
+    /// Widen a whole column, dispatched on the backend (unused when
+    /// [`Self::DIRECT`]).
+    fn widen_into(be: Backend, src: &[Self], dst: &mut [f32]);
 }
 
 impl Widen for f32 {
+    const DIRECT: bool = true;
     #[inline(always)]
     fn widen(self) -> f32 {
         self
     }
+    fn widen_into(_be: Backend, src: &[f32], dst: &mut [f32]) {
+        dst.copy_from_slice(src);
+    }
 }
 
 impl Widen for F16 {
+    const DIRECT: bool = false;
     #[inline(always)]
     fn widen(self) -> f32 {
         self.to_f32()
+    }
+    fn widen_into(be: Backend, src: &[F16], dst: &mut [f32]) {
+        crate::f16::widen_slice_on(be, src, dst);
     }
 }
 
@@ -92,34 +133,63 @@ impl Widen for F16 {
 pub struct PackedA {
     m: usize,
     d: usize,
-    /// `ceil(m / MR)` panels of `d · MR` floats, k-major within a panel.
+    /// The backend this pack was laid out for (panel width = `backend.mr()`).
+    backend: Backend,
+    /// Cached `backend.mr()` — the panel width.
+    mr: usize,
+    /// `ceil(m / mr)` panels of `d · mr` floats, k-major within a panel.
     data: Vec<f32>,
 }
 
 impl PackedA {
-    /// Pack an f32 reference matrix.
+    /// Pack an f32 reference matrix for the process-wide backend.
     pub fn from_f32(a: &Mat) -> PackedA {
-        Self::pack(a.as_slice(), a.rows(), a.cols())
+        Self::from_f32_on(active_backend(), a)
     }
 
-    /// Pack a half-precision reference matrix, widening each element once.
+    /// Pack a half-precision reference matrix for the process-wide backend,
+    /// widening each element once (vectorized on SIMD backends).
     pub fn from_f16(a: &MatF16) -> PackedA {
-        Self::pack(a.as_slice(), a.rows(), a.cols())
+        Self::from_f16_on(active_backend(), a)
     }
 
-    fn pack<T: Widen>(cols: &[T], d: usize, m: usize) -> PackedA {
-        let panels = m.div_ceil(MR);
-        let mut data = vec![0.0f32; panels * d * MR];
-        for (p, panel) in data.chunks_exact_mut((d * MR).max(1)).enumerate() {
-            let width = MR.min(m - p * MR);
+    /// [`Self::from_f32`] for an explicit backend (an unavailable backend
+    /// degrades to scalar).
+    pub fn from_f32_on(be: Backend, a: &Mat) -> PackedA {
+        Self::pack(a.as_slice(), a.rows(), a.cols(), be)
+    }
+
+    /// [`Self::from_f16`] for an explicit backend (an unavailable backend
+    /// degrades to scalar).
+    pub fn from_f16_on(be: Backend, a: &MatF16) -> PackedA {
+        Self::pack(a.as_slice(), a.rows(), a.cols(), be)
+    }
+
+    fn pack<T: Widen>(cols: &[T], d: usize, m: usize, be: Backend) -> PackedA {
+        let backend = if be.is_available() { be } else { Backend::Scalar };
+        let mr = backend.mr();
+        let panels = m.div_ceil(mr);
+        let mut data = vec![0.0f32; panels * d * mr];
+        let mut scratch = if T::DIRECT { Vec::new() } else { vec![0.0f32; d] };
+        for (p, panel) in data.chunks_exact_mut((d * mr).max(1)).enumerate() {
+            let width = mr.min(m - p * mr);
             for r in 0..width {
-                let col = &cols[(p * MR + r) * d..(p * MR + r + 1) * d];
-                for (k, &v) in col.iter().enumerate() {
-                    panel[k * MR + r] = v.widen();
+                let col = &cols[(p * mr + r) * d..(p * mr + r + 1) * d];
+                if T::DIRECT {
+                    for (k, &v) in col.iter().enumerate() {
+                        panel[k * mr + r] = v.widen();
+                    }
+                } else {
+                    // Widen the whole column contiguously (8-lane F16C /
+                    // NEON), then scatter into the k-major panel.
+                    T::widen_into(backend, col, &mut scratch);
+                    for (k, &v) in scratch.iter().enumerate() {
+                        panel[k * mr + r] = v;
+                    }
                 }
             }
         }
-        PackedA { m, d, data }
+        PackedA { m, d, backend, mr, data }
     }
 
     /// Number of reference columns (`m`, rows of the product).
@@ -132,13 +202,19 @@ impl PackedA {
         self.d
     }
 
+    /// The backend this operand was packed for — the one every GEMM or
+    /// fused scan consuming it will run on.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
     fn panel_count(&self) -> usize {
-        self.m.div_ceil(MR)
+        self.m.div_ceil(self.mr)
     }
 
     #[inline]
     fn panel(&self, p: usize) -> &[f32] {
-        &self.data[p * self.d * MR..(p + 1) * self.d * MR]
+        &self.data[p * self.d * self.mr..(p + 1) * self.d * self.mr]
     }
 }
 
@@ -169,43 +245,71 @@ impl Operand<'_> {
         }
     }
 
-    /// Pack columns `j0 .. j0 + w` into NR-wide, k-major panels.
-    fn pack_chunk(&self, j0: usize, w: usize) -> Vec<f32> {
+    /// Pack columns `j0 .. j0 + w` into `nr`-wide, k-major panels for the
+    /// given backend.
+    fn pack_chunk(&self, be: Backend, j0: usize, w: usize) -> Vec<f32> {
         match self {
-            Operand::F32(m) => pack_b(m.as_slice(), m.rows(), j0, w),
-            Operand::F16(m) => pack_b(m.as_slice(), m.rows(), j0, w),
+            Operand::F32(m) => pack_b(m.as_slice(), m.rows(), j0, w, be),
+            Operand::F16(m) => pack_b(m.as_slice(), m.rows(), j0, w, be),
         }
     }
 }
 
-fn pack_b<T: Widen>(cols: &[T], d: usize, j0: usize, w: usize) -> Vec<f32> {
-    let panels = w.div_ceil(NR);
-    let mut data = vec![0.0f32; panels * d * NR];
-    for (p, panel) in data.chunks_exact_mut((d * NR).max(1)).enumerate() {
-        let width = NR.min(w - p * NR);
+fn pack_b<T: Widen>(cols: &[T], d: usize, j0: usize, w: usize, be: Backend) -> Vec<f32> {
+    let nr = be.nr();
+    let panels = w.div_ceil(nr);
+    let mut data = vec![0.0f32; panels * d * nr];
+    let mut scratch = if T::DIRECT { Vec::new() } else { vec![0.0f32; d] };
+    for (p, panel) in data.chunks_exact_mut((d * nr).max(1)).enumerate() {
+        let width = nr.min(w - p * nr);
         for c in 0..width {
-            let col = &cols[(j0 + p * NR + c) * d..(j0 + p * NR + c + 1) * d];
-            for (k, &v) in col.iter().enumerate() {
-                panel[k * NR + c] = v.widen();
+            let col = &cols[(j0 + p * nr + c) * d..(j0 + p * nr + c + 1) * d];
+            if T::DIRECT {
+                for (k, &v) in col.iter().enumerate() {
+                    panel[k * nr + c] = v.widen();
+                }
+            } else {
+                T::widen_into(be, col, &mut scratch);
+                for (k, &v) in scratch.iter().enumerate() {
+                    panel[k * nr + c] = v;
+                }
             }
         }
     }
     data
 }
 
-/// The `MR × NR` register tile: 16 independent accumulators over the full
-/// depth. `acc[c · MR + r]` is the (r, c) output (column-major tile).
+/// The scalar `MR × NR` register tile: 16 independent accumulators over the
+/// full depth. `acc[c · MR + r]` is the (r, c) output (column-major tile).
 #[inline(always)]
-fn microkernel(d: usize, ap: &[f32], bp: &[f32]) -> [f32; MR * NR] {
-    let mut acc = [0.0f32; MR * NR];
+fn microkernel_scalar(d: usize, ap: &[f32], bp: &[f32], acc: &mut [f32; MAX_TILE]) {
+    let mut t = [0.0f32; MR * NR];
     for (av, bv) in ap[..d * MR].chunks_exact(MR).zip(bp[..d * NR].chunks_exact(NR)) {
-        for (&b, acc_col) in bv.iter().zip(acc.chunks_exact_mut(MR)) {
+        for (&b, acc_col) in bv.iter().zip(t.chunks_exact_mut(MR)) {
             for (&a, slot) in av.iter().zip(acc_col.iter_mut()) {
                 *slot += a * b;
             }
         }
     }
-    acc
+    acc[..MR * NR].copy_from_slice(&t);
+}
+
+/// Run one register tile on the pack's backend, filling the first
+/// `mr · nr` slots of `acc` column-major (`acc[c · mr + r]`).
+#[inline(always)]
+fn run_tile(be: Backend, d: usize, ap: &[f32], bp: &[f32], acc: &mut [f32; MAX_TILE]) {
+    match be {
+        Backend::Scalar => microkernel_scalar(d, ap, bp, acc),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `PackedA::pack` downgrades unavailable backends, so an
+        // Avx2 pack only exists on CPUs where the probe succeeded.
+        Backend::Avx2 => unsafe { crate::simd::x86::microkernel_8x8(d, ap, bp, acc) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: NEON is baseline on aarch64.
+        Backend::Neon => unsafe { crate::simd::neon::microkernel_8x4(d, ap, bp, acc) },
+        #[allow(unreachable_patterns)]
+        _ => unreachable!("pack bound to a backend unavailable on this arch"),
+    }
 }
 
 /// `C = alpha · AᵀB` from a pre-packed A. Parallelized over `NC`-column
@@ -222,20 +326,22 @@ pub fn gemm_packed(alpha: f32, a: &PackedA, b: Operand<'_>) -> Mat {
     if m == 0 || n == 0 {
         return c;
     }
+    let mr = a.mr;
+    let nr = a.backend.nr();
     c.as_mut_slice()
         .par_chunks_mut(m * NC)
         .enumerate()
         .for_each(|(ci, chunk)| {
             let j0 = ci * NC;
             let w = chunk.len() / m;
-            let bp = b.pack_chunk(j0, w);
+            let bp = b.pack_chunk(a.backend, j0, w);
             for_each_tile(a, &bp, w, d, |p, jr, acc| {
-                let rows = MR.min(m - p * MR);
-                let cols = NR.min(w - jr * NR);
+                let rows = mr.min(m - p * mr);
+                let cols = nr.min(w - jr * nr);
                 for cc in 0..cols {
-                    let dst = &mut chunk[(jr * NR + cc) * m + p * MR..][..rows];
+                    let dst = &mut chunk[(jr * nr + cc) * m + p * mr..][..rows];
                     for (r, slot) in dst.iter_mut().enumerate() {
-                        *slot = alpha * acc[cc * MR + r];
+                        *slot = alpha * acc[cc * mr + r];
                     }
                 }
             });
@@ -244,28 +350,34 @@ pub fn gemm_packed(alpha: f32, a: &PackedA, b: Operand<'_>) -> Mat {
 }
 
 /// Walk every (A-panel, B-panel) register tile of one N-chunk in the blocked
-/// order (`MC_PANELS` A panels per block, B panels swept inside each block),
-/// handing each finished tile to `emit(panel, jr, acc)`.
+/// order (`MC_ROWS / mr` A panels per block, B panels swept inside each
+/// block), handing each finished tile — the first `mr · nr` slots of the
+/// scratch, column-major — to `emit(panel, jr, acc)`.
 ///
 /// For any fixed output column, tiles arrive in ascending-row order — the
 /// property the fused top-2 epilogue relies on for first-index tie-breaking.
+/// This holds for every backend tile geometry.
 #[inline]
 fn for_each_tile(
     a: &PackedA,
     bp: &[f32],
     w: usize,
     d: usize,
-    mut emit: impl FnMut(usize, usize, &[f32; MR * NR]),
+    mut emit: impl FnMut(usize, usize, &[f32]),
 ) {
-    let b_panels = w.div_ceil(NR);
+    let be = a.backend;
+    let (mr, nr) = (a.mr, be.nr());
+    let b_panels = w.div_ceil(nr);
+    let mc_panels = (MC_ROWS / mr).max(1);
+    let mut acc = [0.0f32; MAX_TILE];
     let mut ic0 = 0;
     while ic0 < a.panel_count() {
-        let ic_end = (ic0 + MC_PANELS).min(a.panel_count());
+        let ic_end = (ic0 + mc_panels).min(a.panel_count());
         for jr in 0..b_panels {
-            let bpanel = &bp[jr * d * NR..(jr + 1) * d * NR];
+            let bpanel = &bp[jr * d * nr..(jr + 1) * d * nr];
             for p in ic0..ic_end {
-                let acc = microkernel(d, a.panel(p), bpanel);
-                emit(p, jr, &acc);
+                run_tile(be, d, a.panel(p), bpanel, &mut acc);
+                emit(p, jr, &acc[..mr * nr]);
             }
         }
         ic0 = ic_end;
@@ -332,6 +444,8 @@ pub fn gemm_top2_ex(
         return Vec::new();
     }
 
+    let be = a.backend;
+    let (mr, nr) = (a.mr, be.nr());
     // One task per N-chunk; each task owns the Top2 state of its own
     // columns only, so there is no cross-task write sharing.
     let per_chunk: Vec<Vec<Top2>> = (0..n.div_ceil(NC))
@@ -339,46 +453,47 @@ pub fn gemm_top2_ex(
         .map(|ci| {
             let j0 = ci * NC;
             let w = NC.min(n - j0);
-            let bp = b.pack_chunk(j0, w);
+            let bp = b.pack_chunk(be, j0, w);
             // `state[local_j · batch + blk]`: the only per-column memory the
             // fused path keeps — the paper's two "registers" plus an index.
             let mut state = vec![Top2::EMPTY; w * batch];
+            let mut tile = [0.0f32; MAX_TILE];
             for_each_tile(a, &bp, w, d, |p, jr, acc| {
-                let rows = MR.min(m - p * MR);
-                let cols = NR.min(w - jr * NR);
+                let rows = mr.min(m - p * mr);
+                let cols = nr.min(w - jr * nr);
                 // Whole-tile epilogue: each transform runs as its own pass
-                // over the 16-lane tile, so the `row_bias`/`quantize_f16`
-                // branches resolve once per tile (not once per element) and
-                // every pass is a tight, branch-free loop the compiler can
-                // vectorize. Per element the op order is unchanged —
+                // over the tile, so the `row_bias`/`quantize_f16` branches
+                // resolve once per tile (not once per element) and every
+                // pass is a tight, branch-free loop (the quantize pass runs
+                // the backend's 8-lane F16C round-trip on SIMD packs). Per
+                // element the op order is unchanged —
                 // alpha → scale → bias → f16 round-trip → observe — so the
                 // results stay bit-identical to the unfused pipeline.
-                let mut tile = *acc;
-                for v in &mut tile {
+                let t = &mut tile[..mr * nr];
+                t.copy_from_slice(acc);
+                for v in t.iter_mut() {
                     *v *= alpha;
                 }
-                for v in &mut tile {
+                for v in t.iter_mut() {
                     *v *= epi.scale;
                 }
                 if let Some(bias) = epi.row_bias {
                     // Padding lanes past `rows`/`cols` would index `bias`
                     // out of range, so this pass alone respects the edges.
                     for cc in 0..cols {
-                        for (r, v) in tile[cc * MR..cc * MR + rows].iter_mut().enumerate() {
-                            *v += bias[p * MR + r];
+                        for (r, v) in t[cc * mr..cc * mr + rows].iter_mut().enumerate() {
+                            *v += bias[p * mr + r];
                         }
                     }
                 }
                 if epi.quantize_f16 {
-                    for v in &mut tile {
-                        *v = F16::from_f32(*v).to_f32();
-                    }
+                    crate::f16::quantize_in_place_on(be, t);
                 }
                 for cc in 0..cols {
                     let col_states =
-                        &mut state[(jr * NR + cc) * batch..(jr * NR + cc + 1) * batch];
-                    for (r, &v) in tile[cc * MR..cc * MR + rows].iter().enumerate() {
-                        let row = p * MR + r;
+                        &mut state[(jr * nr + cc) * batch..(jr * nr + cc + 1) * batch];
+                    for (r, &v) in t[cc * mr..cc * mr + rows].iter().enumerate() {
+                        let row = p * mr + r;
                         col_states[row / m_per_ref].observe((row % m_per_ref) as u32, v);
                     }
                 }
@@ -401,12 +516,22 @@ pub fn gemm_top2_ex(
     out
 }
 
-/// Blocked `C = alpha · AᵀB`, f32 operands (packs A internally).
+/// Blocked `C = alpha · AᵀB`, f32 operands (packs A internally for the
+/// process-wide backend).
 ///
 /// # Panics
 /// Panics if the contraction depths differ.
 pub fn gemm_at_b_blocked(alpha: f32, a: &Mat, b: &Mat) -> Mat {
-    gemm_packed(alpha, &PackedA::from_f32(a), Operand::F32(b))
+    gemm_at_b_blocked_on(active_backend(), alpha, a, b)
+}
+
+/// [`gemm_at_b_blocked`] forced onto an explicit backend (bit-identical to
+/// every other backend; used by benches and forced configs).
+///
+/// # Panics
+/// Panics if the contraction depths differ.
+pub fn gemm_at_b_blocked_on(be: Backend, alpha: f32, a: &Mat, b: &Mat) -> Mat {
+    gemm_packed(alpha, &PackedA::from_f32_on(be, a), Operand::F32(b))
 }
 
 /// Blocked `C = alpha · AᵀB`, f16 operands widened once during packing,
@@ -415,7 +540,15 @@ pub fn gemm_at_b_blocked(alpha: f32, a: &Mat, b: &Mat) -> Mat {
 /// # Panics
 /// Panics if the contraction depths differ.
 pub fn gemm_at_b_blocked_f16(alpha: f32, a: &MatF16, b: &MatF16) -> Mat {
-    gemm_packed(alpha, &PackedA::from_f16(a), Operand::F16(b))
+    gemm_at_b_blocked_f16_on(active_backend(), alpha, a, b)
+}
+
+/// [`gemm_at_b_blocked_f16`] forced onto an explicit backend.
+///
+/// # Panics
+/// Panics if the contraction depths differ.
+pub fn gemm_at_b_blocked_f16_on(be: Backend, alpha: f32, a: &MatF16, b: &MatF16) -> Mat {
+    gemm_packed(alpha, &PackedA::from_f16_on(be, a), Operand::F16(b))
 }
 
 /// Fused `top2(alpha · AᵀB)` per output column, f32 operands.
@@ -423,9 +556,17 @@ pub fn gemm_at_b_blocked_f16(alpha: f32, a: &MatF16, b: &MatF16) -> Mat {
 /// # Panics
 /// Panics if depths differ or `a` has fewer than two columns.
 pub fn gemm_top2(alpha: f32, a: &Mat, b: &Mat) -> Vec<Top2> {
+    gemm_top2_on(active_backend(), alpha, a, b)
+}
+
+/// [`gemm_top2`] forced onto an explicit backend.
+///
+/// # Panics
+/// Panics if depths differ or `a` has fewer than two columns.
+pub fn gemm_top2_on(be: Backend, alpha: f32, a: &Mat, b: &Mat) -> Vec<Top2> {
     gemm_top2_ex(
         alpha,
-        &PackedA::from_f32(a),
+        &PackedA::from_f32_on(be, a),
         Operand::F32(b),
         &FusedEpilogue::default(),
         1,
@@ -440,9 +581,17 @@ pub fn gemm_top2(alpha: f32, a: &Mat, b: &Mat) -> Vec<Top2> {
 /// # Panics
 /// Panics if depths differ or `a` has fewer than two columns.
 pub fn gemm_top2_f16(alpha: f32, a: &MatF16, b: &MatF16) -> Vec<Top2> {
+    gemm_top2_f16_on(active_backend(), alpha, a, b)
+}
+
+/// [`gemm_top2_f16`] forced onto an explicit backend.
+///
+/// # Panics
+/// Panics if depths differ or `a` has fewer than two columns.
+pub fn gemm_top2_f16_on(be: Backend, alpha: f32, a: &MatF16, b: &MatF16) -> Vec<Top2> {
     gemm_top2_ex(
         alpha,
-        &PackedA::from_f16(a),
+        &PackedA::from_f16_on(be, a),
         Operand::F16(b),
         &FusedEpilogue { quantize_f16: true, ..FusedEpilogue::default() },
         1,
@@ -463,9 +612,24 @@ pub fn gemm_top2_blocked(
     batch: usize,
     m_per_ref: usize,
 ) -> Vec<Top2> {
+    gemm_top2_blocked_on(active_backend(), alpha, a, b, batch, m_per_ref)
+}
+
+/// [`gemm_top2_blocked`] forced onto an explicit backend.
+///
+/// # Panics
+/// Panics on shape mismatch or `m_per_ref < 2`.
+pub fn gemm_top2_blocked_on(
+    be: Backend,
+    alpha: f32,
+    a: &Mat,
+    b: &Mat,
+    batch: usize,
+    m_per_ref: usize,
+) -> Vec<Top2> {
     gemm_top2_ex(
         alpha,
-        &PackedA::from_f32(a),
+        &PackedA::from_f32_on(be, a),
         Operand::F32(b),
         &FusedEpilogue::default(),
         batch,
@@ -485,9 +649,24 @@ pub fn gemm_top2_blocked_f16(
     batch: usize,
     m_per_ref: usize,
 ) -> Vec<Top2> {
+    gemm_top2_blocked_f16_on(active_backend(), alpha, a, b, batch, m_per_ref)
+}
+
+/// [`gemm_top2_blocked_f16`] forced onto an explicit backend.
+///
+/// # Panics
+/// Panics on shape mismatch or `m_per_ref < 2`.
+pub fn gemm_top2_blocked_f16_on(
+    be: Backend,
+    alpha: f32,
+    a: &MatF16,
+    b: &MatF16,
+    batch: usize,
+    m_per_ref: usize,
+) -> Vec<Top2> {
     gemm_top2_ex(
         alpha,
-        &PackedA::from_f16(a),
+        &PackedA::from_f16_on(be, a),
         Operand::F16(b),
         &FusedEpilogue { quantize_f16: true, ..FusedEpilogue::default() },
         batch,
@@ -631,6 +810,63 @@ mod tests {
         let a = Mat::zeros(4, 1);
         let b = Mat::zeros(4, 2);
         let _ = gemm_top2(1.0, &a, &b);
+    }
+
+    #[test]
+    fn all_backends_bit_identical_to_scalar() {
+        // The summation-order contract: every available backend must
+        // reproduce the scalar kernel bit for bit — plain GEMM, f16
+        // operands, and the fully-loaded fused epilogue (scale + bias +
+        // quantize), on a shape ragged against every tile geometry.
+        let a = mat_rand(37, 53, 21);
+        let b = mat_rand(37, 29, 22);
+        let a16 = a.to_f16_scaled(0.25);
+        let b16 = b.to_f16_scaled(0.25);
+        let bias: Vec<f32> = (0..53).map(|i| i as f32 * 0.17 - 3.0).collect();
+        let epi = FusedEpilogue { scale: 16.0, row_bias: Some(&bias), quantize_f16: true };
+        let c_ref = gemm_at_b_blocked_on(Backend::Scalar, -2.0, &a, &b);
+        let c16_ref = gemm_at_b_blocked_f16_on(Backend::Scalar, -2.0, &a16, &b16);
+        let fused_ref = gemm_top2_ex(
+            -2.0,
+            &PackedA::from_f16_on(Backend::Scalar, &a16),
+            Operand::F16(&b16),
+            &epi,
+            1,
+            53,
+        );
+        for be in crate::dispatch::available_backends() {
+            assert_eq!(gemm_at_b_blocked_on(be, -2.0, &a, &b), c_ref, "{be}: f32 gemm");
+            assert_eq!(
+                gemm_at_b_blocked_f16_on(be, -2.0, &a16, &b16),
+                c16_ref,
+                "{be}: f16 gemm"
+            );
+            let fused = gemm_top2_ex(
+                -2.0,
+                &PackedA::from_f16_on(be, &a16),
+                Operand::F16(&b16),
+                &epi,
+                1,
+                53,
+            );
+            assert_eq!(fused, fused_ref, "{be}: fused epilogue");
+        }
+    }
+
+    #[test]
+    fn unavailable_backend_degrades_to_scalar() {
+        for be in Backend::ALL {
+            if !be.is_available() {
+                let p = PackedA::from_f32_on(be, &mat_rand(4, 5, 1));
+                assert_eq!(p.backend(), Backend::Scalar);
+            }
+        }
+    }
+
+    #[test]
+    fn pack_records_active_backend() {
+        let p = PackedA::from_f32(&mat_rand(8, 8, 2));
+        assert_eq!(p.backend(), active_backend());
     }
 
     #[test]

@@ -18,19 +18,23 @@
 //! The kernels here are *functional* implementations; the timing of their GPU
 //! counterparts is modelled in `texid-gpu`.
 
+pub mod dispatch;
 pub mod f16;
 pub mod gemm;
 pub mod kernel;
 pub mod mat;
 pub mod norms;
+mod simd;
 pub mod top2;
 
+pub use dispatch::{active_backend, available_backends, Backend};
 pub use f16::F16;
 pub use mat::{Mat, MatF16};
 pub use top2::Top2;
 
 /// Commonly used items.
 pub mod prelude {
+    pub use crate::dispatch::{active_backend, available_backends, Backend};
     pub use crate::f16::F16;
     pub use crate::gemm::{gemm_at_b, gemm_at_b_f16, neg2_at_b, neg2_at_b_f16};
     pub use crate::kernel::{gemm_top2, gemm_top2_f16, FusedEpilogue, Operand, PackedA};

@@ -132,13 +132,12 @@ impl Mat {
     }
 
     /// Convert to half precision after multiplying by `scale`
-    /// (the paper's overflow-avoiding scale factor, §4.2).
+    /// (the paper's overflow-avoiding scale factor, §4.2). Vectorized on
+    /// SIMD backends; bit-identical to the scalar `F16::from_f32(v * scale)`.
     pub fn to_f16_scaled(&self, scale: f32) -> MatF16 {
-        MatF16 {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&v| F16::from_f32(v * scale)).collect(),
-        }
+        let mut data = vec![F16::ZERO; self.data.len()];
+        crate::f16::narrow_slice_scaled_on(crate::dispatch::active_backend(), &self.data, scale, &mut data);
+        MatF16 { rows: self.rows, cols: self.cols, data }
     }
 
     /// Size in bytes of the f32 payload.
@@ -187,11 +186,9 @@ impl MatF16 {
     /// — the 16-bit HGEMM *output* path, as opposed to
     /// [`Mat::to_f16_scaled`] which models scaled operand storage.
     pub fn narrowed(a: &Mat) -> MatF16 {
-        MatF16 {
-            rows: a.rows,
-            cols: a.cols,
-            data: a.data.iter().map(|&v| F16::from_f32(v)).collect(),
-        }
+        let mut data = vec![F16::ZERO; a.data.len()];
+        crate::f16::narrow_slice(&a.data, &mut data);
+        MatF16 { rows: a.rows, cols: a.cols, data }
     }
 
     /// Number of rows.
@@ -220,13 +217,13 @@ impl MatF16 {
     }
 
     /// Widen back to f32, undoing `scale` (i.e. divides by it).
+    /// Vectorized on SIMD backends; bit-identical to the scalar
+    /// `v.to_f32() * (1.0 / scale)`.
     pub fn to_f32_unscaled(&self, scale: f32) -> Mat {
         let inv = 1.0 / scale;
-        Mat {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|v| v.to_f32() * inv).collect(),
-        }
+        let mut data = vec![0.0f32; self.data.len()];
+        crate::f16::widen_slice_scaled_on(crate::dispatch::active_backend(), &self.data, inv, &mut data);
+        Mat { rows: self.rows, cols: self.cols, data }
     }
 
     /// True if any stored element overflowed to ±∞ during conversion.

@@ -1,0 +1,319 @@
+//! Explicit `std::arch` SIMD implementations of the GEMM microkernel and
+//! the f16↔f32 conversions, selected at runtime by [`crate::dispatch`].
+//!
+//! Every function here is **bit-identical** to its scalar reference:
+//!
+//! - The microkernels keep one accumulator per output element, summed in
+//!   ascending-`k` order with a separate vector multiply and add — never an
+//!   FMA instruction, which would round once instead of twice and break the
+//!   summation-order contract documented in [`crate::kernel`]. SIMD lanes
+//!   map to *distinct output rows*, so widening the tile changes which
+//!   elements are computed together but not how any one element sums.
+//! - The AVX2 converters use F16C (`vcvtph2ps`/`vcvtps2ph` with explicit
+//!   round-to-nearest-even), whose rounding, gradual underflow and overflow
+//!   behaviour match [`crate::f16::F16`] exactly; the one divergence — the
+//!   hardware preserves NaN payloads on narrowing where the scalar
+//!   reference canonicalizes to `sign | 0x7e00` — is patched by fixing up
+//!   unordered lanes through the scalar path (NaNs are vanishingly rare in
+//!   feature data, so the fixup never runs on the hot path).
+//! - The NEON widen uses the exact scale-by-`2¹¹²` bit trick (verified
+//!   exhaustively against the scalar reference via the portable mirror
+//!   [`widen_bits_portable`], which the vector code transcribes lane for
+//!   lane); NEON narrowing falls back to the scalar reference because the
+//!   stable aarch64 intrinsic set has no `float16` vector type yet.
+
+#![allow(dead_code)] // each arch module is dead on the other arch
+
+use crate::f16::F16;
+
+/// Portable mirror of the NEON widen lanes: reconstruct `to_f32` with an
+/// exact multiply by `2¹¹²` plus an integer fixup for inf/NaN.
+///
+/// Exactness: for normal and subnormal halves, `(h & 0x7fff) << 13`
+/// reinterpreted as f32 is the half's value scaled by `2⁻¹¹²`
+/// (subnormal halves land on f32 subnormals whose scaling stays exact),
+/// and multiplying by the power of two `2¹¹²` is always exact. The
+/// inf/NaN fixup rebuilds the scalar reference's bit pattern directly:
+/// `sign | 0x7f80_0000 | man << 13`, quiet bit forced for NaN.
+#[inline(always)]
+pub(crate) fn widen_bits_portable(h: u16) -> f32 {
+    let hw = h as u32;
+    let sign = (hw & 0x8000) << 16;
+    let em13 = (hw & 0x7fff) << 13;
+    let scaled = f32::from_bits(em13) * f32::from_bits(0x7780_0000); // × 2^112
+    let man13 = (hw & 0x03ff) << 13;
+    let quiet = if man13 != 0 { 0x0040_0000 } else { 0 };
+    let body = if hw & 0x7c00 == 0x7c00 {
+        0x7f80_0000 | man13 | quiet
+    } else {
+        scaled.to_bits()
+    };
+    f32::from_bits(sign | body)
+}
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod x86 {
+    use super::F16;
+    #[allow(clippy::wildcard_imports)]
+    use core::arch::x86_64::*;
+
+    /// AVX2 8×8 register tile: 8 `ymm` accumulators, one output row per
+    /// lane, each summing its dot product in ascending-`k` order.
+    /// `acc[c · 8 + r] = Σ_k ap[k·8 + r] · bp[k·8 + c]` — the same
+    /// per-element sum as the scalar microkernel, just eight rows at a
+    /// time. Multiply and add stay separate instructions (`vmulps` +
+    /// `vaddps`, never `vfmadd`), preserving bit-identity.
+    ///
+    /// # Safety
+    /// Requires AVX2 (caller dispatches via `Backend::is_available`);
+    /// `ap.len() >= d * 8`, `bp.len() >= d * 8`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn microkernel_8x8(d: usize, ap: &[f32], bp: &[f32], acc: &mut [f32]) {
+        debug_assert!(ap.len() >= d * 8 && bp.len() >= d * 8 && acc.len() >= 64);
+        let mut c = [_mm256_setzero_ps(); 8];
+        let a_ptr = ap.as_ptr();
+        let b_ptr = bp.as_ptr();
+        for k in 0..d {
+            let a = _mm256_loadu_ps(a_ptr.add(k * 8));
+            let bk = b_ptr.add(k * 8);
+            // The compiler fully unrolls this and keeps `c` in registers.
+            for (j, cj) in c.iter_mut().enumerate() {
+                let b = _mm256_broadcast_ss(&*bk.add(j));
+                *cj = _mm256_add_ps(*cj, _mm256_mul_ps(a, b));
+            }
+        }
+        for (j, cj) in c.iter().enumerate() {
+            _mm256_storeu_ps(acc.as_mut_ptr().add(j * 8), *cj);
+        }
+    }
+
+    /// 8-lane F16C widen; bit-identical to [`F16::to_f32`] (hardware
+    /// quietization of signalling NaNs produces the same
+    /// `sign | 0x7fc0_0000 | man << 13` pattern the scalar path builds).
+    ///
+    /// # Safety
+    /// Requires F16C; `src.len() == dst.len()`.
+    #[target_feature(enable = "avx2,f16c")]
+    pub unsafe fn widen_slice(src: &[F16], dst: &mut [f32]) {
+        debug_assert_eq!(src.len(), dst.len());
+        let n = src.len();
+        let sp = src.as_ptr() as *const u16;
+        let dp = dst.as_mut_ptr();
+        let mut i = 0;
+        while i + 8 <= n {
+            let h = _mm_loadu_si128(sp.add(i) as *const __m128i);
+            _mm256_storeu_ps(dp.add(i), _mm256_cvtph_ps(h));
+            i += 8;
+        }
+        while i < n {
+            *dp.add(i) = (*sp.add(i).cast::<F16>()).to_f32();
+            i += 1;
+        }
+    }
+
+    /// 8-lane widen with a post-scale: `dst[i] = src[i].to_f32() * scale`.
+    ///
+    /// # Safety
+    /// Requires F16C; `src.len() == dst.len()`.
+    #[target_feature(enable = "avx2,f16c")]
+    pub unsafe fn widen_slice_scaled(src: &[F16], scale: f32, dst: &mut [f32]) {
+        debug_assert_eq!(src.len(), dst.len());
+        let n = src.len();
+        let sp = src.as_ptr() as *const u16;
+        let dp = dst.as_mut_ptr();
+        let sv = _mm256_set1_ps(scale);
+        let mut i = 0;
+        while i + 8 <= n {
+            let h = _mm_loadu_si128(sp.add(i) as *const __m128i);
+            _mm256_storeu_ps(dp.add(i), _mm256_mul_ps(_mm256_cvtph_ps(h), sv));
+            i += 8;
+        }
+        while i < n {
+            *dp.add(i) = (*sp.add(i).cast::<F16>()).to_f32() * scale;
+            i += 1;
+        }
+    }
+
+    /// 8-lane F16C narrow with an optional pre-scale:
+    /// `dst[i] = F16::from_f32(src[i] * scale)`.
+    ///
+    /// `vcvtps2ph` is invoked with explicit round-to-nearest-even and
+    /// matches the scalar reference on every finite value (including
+    /// gradual underflow and overflow-to-∞); NaN lanes are canonicalized
+    /// through the scalar path because the hardware preserves payloads
+    /// where [`F16::from_f32`] emits `sign | 0x7e00`.
+    ///
+    /// # Safety
+    /// Requires F16C; `src.len() == dst.len()`.
+    #[target_feature(enable = "avx2,f16c")]
+    pub unsafe fn narrow_slice_scaled(src: &[f32], scale: f32, dst: &mut [F16]) {
+        debug_assert_eq!(src.len(), dst.len());
+        let n = src.len();
+        let sp = src.as_ptr();
+        let dp = dst.as_mut_ptr() as *mut u16;
+        let sv = _mm256_set1_ps(scale);
+        let mut i = 0;
+        while i + 8 <= n {
+            let f = _mm256_mul_ps(_mm256_loadu_ps(sp.add(i)), sv);
+            let h = _mm256_cvtps_ph(f, _MM_FROUND_TO_NEAREST_INT);
+            _mm_storeu_si128(dp.add(i) as *mut __m128i, h);
+            let unord = _mm256_movemask_ps(_mm256_cmp_ps(f, f, _CMP_UNORD_Q));
+            if unord != 0 {
+                for lane in 0..8 {
+                    if unord & (1 << lane) != 0 {
+                        *dp.add(i + lane) = F16::from_f32(*sp.add(i + lane) * scale).to_bits();
+                    }
+                }
+            }
+            i += 8;
+        }
+        while i < n {
+            *dp.add(i) = F16::from_f32(*sp.add(i) * scale).to_bits();
+            i += 1;
+        }
+    }
+
+    /// In-place 8-lane f16 round-trip: `v = F16::from_f32(v).to_f32()` —
+    /// the fused epilogue's quantize pass. NaN lanes are canonicalized to
+    /// the scalar result (`sign | 0x7fc0_0000`).
+    ///
+    /// # Safety
+    /// Requires F16C.
+    #[target_feature(enable = "avx2,f16c")]
+    pub unsafe fn quantize_in_place(vals: &mut [f32]) {
+        let n = vals.len();
+        let p = vals.as_mut_ptr();
+        let mut i = 0;
+        while i + 8 <= n {
+            let f = _mm256_loadu_ps(p.add(i));
+            let h = _mm256_cvtps_ph(f, _MM_FROUND_TO_NEAREST_INT);
+            _mm256_storeu_ps(p.add(i), _mm256_cvtph_ps(h));
+            let unord = _mm256_movemask_ps(_mm256_cmp_ps(f, f, _CMP_UNORD_Q));
+            if unord != 0 {
+                for lane in 0..8 {
+                    if unord & (1 << lane) != 0 {
+                        let v = p.add(i + lane);
+                        *v = F16::from_f32(*v).to_f32();
+                    }
+                }
+            }
+            i += 8;
+        }
+        while i < n {
+            let v = p.add(i);
+            *v = F16::from_f32(*v).to_f32();
+            i += 1;
+        }
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+pub(crate) mod neon {
+    use super::F16;
+    #[allow(clippy::wildcard_imports)]
+    use core::arch::aarch64::*;
+
+    /// NEON 8×4 register tile: two `float32x4` accumulators per output
+    /// column (rows 0–3 and 4–7), each element summing its dot product in
+    /// ascending-`k` order with separate `fmul`/`fadd` (never `fmla`) —
+    /// the same bit-identity contract as the AVX2 and scalar kernels.
+    ///
+    /// # Safety
+    /// `ap.len() >= d * 8`, `bp.len() >= d * 4`, `acc.len() >= 32`.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn microkernel_8x4(d: usize, ap: &[f32], bp: &[f32], acc: &mut [f32]) {
+        debug_assert!(ap.len() >= d * 8 && bp.len() >= d * 4 && acc.len() >= 32);
+        let a_ptr = ap.as_ptr();
+        let b_ptr = bp.as_ptr();
+        let mut c = [vdupq_n_f32(0.0); 8];
+        for k in 0..d {
+            let a0 = vld1q_f32(a_ptr.add(k * 8));
+            let a1 = vld1q_f32(a_ptr.add(k * 8 + 4));
+            for j in 0..4 {
+                let b = vdupq_n_f32(*b_ptr.add(k * 4 + j));
+                c[j * 2] = vaddq_f32(c[j * 2], vmulq_f32(a0, b));
+                c[j * 2 + 1] = vaddq_f32(c[j * 2 + 1], vmulq_f32(a1, b));
+            }
+        }
+        for j in 0..4 {
+            vst1q_f32(acc.as_mut_ptr().add(j * 8), c[j * 2]);
+            vst1q_f32(acc.as_mut_ptr().add(j * 8 + 4), c[j * 2 + 1]);
+        }
+    }
+
+    /// 4-lane widen: the exact `× 2¹¹²` bit trick of
+    /// [`super::widen_bits_portable`], transcribed lane for lane (the
+    /// stable aarch64 intrinsic set has no `float16` vector type, so the
+    /// hardware `fcvtl` is unavailable; this integer path is provably
+    /// identical to the scalar reference — the portable mirror is tested
+    /// against all 65536 patterns on every arch).
+    ///
+    /// # Safety
+    /// `src.len() == dst.len()`.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn widen_slice(src: &[F16], dst: &mut [f32]) {
+        debug_assert_eq!(src.len(), dst.len());
+        let n = src.len();
+        let sp = src.as_ptr() as *const u16;
+        let dp = dst.as_mut_ptr();
+        let magic = vdupq_n_f32(f32::from_bits(0x7780_0000)); // 2^112
+        let mut i = 0;
+        while i + 4 <= n {
+            let hw = vmovl_u16(vld1_u16(sp.add(i)));
+            let sign = vshlq_n_u32::<16>(vandq_u32(hw, vdupq_n_u32(0x8000)));
+            let em13 = vshlq_n_u32::<13>(vandq_u32(hw, vdupq_n_u32(0x7fff)));
+            let scaled = vmulq_f32(vreinterpretq_f32_u32(em13), magic);
+            let finite = vreinterpretq_u32_f32(scaled);
+            let man13 = vshlq_n_u32::<13>(vandq_u32(hw, vdupq_n_u32(0x03ff)));
+            let quiet =
+                vandq_u32(vmvnq_u32(vceqq_u32(man13, vdupq_n_u32(0))), vdupq_n_u32(0x0040_0000));
+            let spec = vorrq_u32(vorrq_u32(vdupq_n_u32(0x7f80_0000), man13), quiet);
+            let isspec =
+                vceqq_u32(vandq_u32(hw, vdupq_n_u32(0x7c00)), vdupq_n_u32(0x7c00));
+            let body = vbslq_u32(isspec, spec, finite);
+            vst1q_f32(dp.add(i), vreinterpretq_f32_u32(vorrq_u32(sign, body)));
+            i += 4;
+        }
+        while i < n {
+            *dp.add(i) = super::widen_bits_portable(*sp.add(i));
+            i += 1;
+        }
+    }
+
+    /// 4-lane widen with a post-scale: `dst[i] = src[i].to_f32() * scale`.
+    ///
+    /// # Safety
+    /// `src.len() == dst.len()`.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn widen_slice_scaled(src: &[F16], scale: f32, dst: &mut [f32]) {
+        widen_slice(src, dst);
+        let n = dst.len();
+        let dp = dst.as_mut_ptr();
+        let sv = vdupq_n_f32(scale);
+        let mut i = 0;
+        while i + 4 <= n {
+            vst1q_f32(dp.add(i), vmulq_f32(vld1q_f32(dp.add(i)), sv));
+            i += 4;
+        }
+        while i < n {
+            *dp.add(i) *= scale;
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn portable_widen_trick_matches_scalar_on_all_65536_patterns() {
+        // Proves the NEON widen algorithm bit-exact on every arch: the
+        // vector code is a lane-for-lane transcription of this function.
+        for bits in 0..=u16::MAX {
+            let expect = F16::from_bits(bits).to_f32().to_bits();
+            let got = widen_bits_portable(bits).to_bits();
+            assert_eq!(got, expect, "bits={bits:#06x}");
+        }
+    }
+}

@@ -80,6 +80,24 @@ impl<T: ?Sized> RwLock<T> {
         self.0.write().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// Try to acquire a shared read guard without blocking.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.0.try_read() {
+            Ok(g) => Some(g),
+            Err(TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Try to acquire an exclusive write guard without blocking.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.0.try_write() {
+            Ok(g) => Some(g),
+            Err(TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
         self.0.get_mut().unwrap_or_else(|e| e.into_inner())
@@ -104,6 +122,21 @@ mod tests {
         assert_eq!(l.read().len(), 2);
         l.write().push(3);
         assert_eq!(*l.read(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn rwlock_try_variants() {
+        let l = RwLock::new(5);
+        {
+            let _r = l.read();
+            assert!(l.try_read().is_some(), "readers share");
+            assert!(l.try_write().is_none(), "writer blocked by reader");
+        }
+        {
+            let _w = l.try_write().expect("free lock");
+            assert!(l.try_read().is_none(), "reader blocked by writer");
+        }
+        assert!(l.try_write().is_some());
     }
 
     #[test]
